@@ -1,0 +1,52 @@
+(* Sweep the full design space over (a sample of) the loop suite and
+   print the Pareto frontier per technology generation: the
+   configurations no other implementable configuration beats in both
+   performance and area — the decision a processor architect would read
+   off the paper.
+
+   Run: dune exec examples/design_space.exe [sample_size] *)
+
+module Config = Wr_machine.Config
+module Sia = Wr_cost.Sia
+
+let pareto points =
+  (* Keep the points not dominated in (higher speed-up, lower area). *)
+  List.filter
+    (fun (p : Core.Tradeoff.point) ->
+      not
+        (List.exists
+           (fun (q : Core.Tradeoff.point) ->
+             q.Core.Tradeoff.speedup >= p.Core.Tradeoff.speedup
+             && q.Core.Tradeoff.area < p.Core.Tradeoff.area
+             || q.Core.Tradeoff.speedup > p.Core.Tradeoff.speedup
+                && q.Core.Tradeoff.area <= p.Core.Tradeoff.area)
+           points))
+    points
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 150 in
+  let loops = Wr_workload.Suite.sample n in
+  let suite_id = Printf.sprintf "design-space-%d" n in
+  Printf.printf "Evaluating on %d loops of the suite...\n\n%!" (Array.length loops);
+  List.iter
+    (fun (g : Sia.generation) ->
+      let candidates = Core.Implementability.implementable_configs g in
+      let points = List.filter_map (Core.Tradeoff.evaluate ~suite_id loops) candidates in
+      let frontier =
+        List.sort
+          (fun (a : Core.Tradeoff.point) b -> compare a.Core.Tradeoff.area b.Core.Tradeoff.area)
+          (pareto points)
+      in
+      Printf.printf "%s: %d implementable points, %d on the Pareto frontier\n" (Sia.label g)
+        (List.length points) (List.length frontier);
+      List.iter
+        (fun (p : Core.Tradeoff.point) ->
+          Printf.printf "  %-14s speed-up %.2f  area %6.0fe6 (%4.1f%% die)  Tc %.2f\n"
+            (Config.label p.Core.Tradeoff.config)
+            p.Core.Tradeoff.speedup
+            (p.Core.Tradeoff.area /. 1e6)
+            (100.0 *. p.Core.Tradeoff.area /. g.Sia.lambda2_per_chip)
+            p.Core.Tradeoff.tc)
+        frontier;
+      print_newline ())
+    Sia.generations

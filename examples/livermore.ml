@@ -1,0 +1,70 @@
+(* The Livermore kernels across the paper's central design choice:
+   schedule each kernel on 8w1 and 4w2 (equal peak capability, 128
+   registers) and report which machine wins at matched wall-clock —
+   the paper's conclusion, kernel by kernel on a classic suite.
+
+   Run: dune exec examples/livermore.exe *)
+
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Loop = Wr_ir.Loop
+module Schedule = Wr_sched.Schedule
+
+let evaluate (cfg : Config.t) loop =
+  let cycle_model = Wr_cost.Access_time.cycle_model_of cfg in
+  let tc = Wr_cost.Access_time.relative cfg in
+  let wide, _ = Wr_widen.Transform.widen loop ~width:cfg.Config.width in
+  match
+    Wr_regalloc.Driver.run (Resource.of_config cfg) ~cycle_model
+      ~registers:cfg.Config.registers wide.Loop.ddg
+  with
+  | Wr_regalloc.Driver.Scheduled s ->
+      let cycles =
+        float_of_int (s.Wr_regalloc.Driver.schedule.Schedule.ii * wide.Loop.trip_count)
+      in
+      Some (cycles *. tc, s.Wr_regalloc.Driver.schedule.Schedule.ii)
+  | Wr_regalloc.Driver.Unschedulable _ -> None
+
+let () =
+  let a = Config.xwy ~registers:128 ~partitions:8 ~x:8 ~y:1 () in
+  let b = Config.xwy ~registers:128 ~partitions:4 ~x:4 ~y:2 () in
+  Printf.printf "Livermore kernels: %s vs %s at matched wall-clock\n\n" (Config.label a)
+    (Config.label b);
+  let wins_a = ref 0 and wins_b = ref 0 in
+  let rows =
+    List.map
+      (fun (name, loop) ->
+        let cell cfg =
+          match evaluate cfg loop with
+          | Some (wall, ii) -> (wall, Printf.sprintf "%.0f (II=%d)" wall ii)
+          | None -> (infinity, "n/a")
+        in
+        let wa, ta = cell a and wb, tb = cell b in
+        let verdict =
+          if wa < wb *. 0.99 then (incr wins_a; Config.label_short a)
+          else if wb < wa *. 0.99 then (incr wins_b; Config.label_short b)
+          else "tie"
+        in
+        [
+          name;
+          (if Wr_ir.Ddg.has_recurrence loop.Loop.ddg then "rec" else "par");
+          ta;
+          tb;
+          verdict;
+        ])
+      (Wr_workload.Livermore.all ())
+  in
+  print_string
+    (Wr_util.Table.render
+       ~headers:
+         [ "kernel"; "kind"; Config.label_short a ^ " wall"; Config.label_short b ^ " wall";
+           "winner" ]
+       rows);
+  Printf.printf "\n%s wins %d kernels, %s wins %d (rest ties/n.a.)\n" (Config.label_short a)
+    !wins_a (Config.label_short b) !wins_b;
+  Printf.printf
+    "The split mirrors the paper: the widened machine wins the parallel kernels (in half \
+     the area), while the replicated machine's shorter cycle time wins the recurrence-bound \
+     ones (latency adaptation shortens the critical chains in wall-clock).  Weighted over a \
+     whole workload, the mixes win -- Figure 9.\n"

@@ -1,0 +1,57 @@
+(* Quickstart: build a loop with the DSL, widen it, software-pipeline
+   it on a 2w2 machine and inspect the result.
+
+   Run: dune exec examples/quickstart.exe *)
+
+module B = Wr_ir.Builder
+module Config = Wr_machine.Config
+module Resource = Wr_machine.Resource
+module Loop = Wr_ir.Loop
+module Schedule = Wr_sched.Schedule
+
+let () =
+  (* 1. Describe the loop: y(i) = a*x(i) + y(i), 1000 iterations. *)
+  let b = B.create ~name:"my_daxpy" () in
+  let a = B.live_in b in
+  let x = B.load b ~array_id:0 () in
+  let y = B.load b ~array_id:1 () in
+  let r = B.fadd b (B.fmul b a x) y in
+  B.store b ~array_id:1 () r;
+  let loop = B.finish b ~trip_count:1000 () in
+  Format.printf "The loop:@.%a@.@." Loop.pp loop;
+
+  (* 2. Pick a machine: 2 buses, 4 FPUs, everything 2 words wide,
+     64 registers of 128 bits. *)
+  let cfg = Config.xwy ~registers:64 ~x:2 ~y:2 () in
+  Printf.printf "Machine: %s (factor %d, %d read + %d write ports)\n\n" (Config.label cfg)
+    (Config.factor cfg) (Config.read_ports cfg) (Config.write_ports cfg);
+
+  (* 3. Widen the body for the 2-wide datapath: compactable operations
+     pack, the rest get replicated. *)
+  let wide, stats = Wr_widen.Transform.widen loop ~width:cfg.Config.width in
+  Format.printf "Widening: %a@.@." Wr_widen.Transform.pp_stats stats;
+
+  (* 4. Software-pipeline under the machine's own clock (the register
+     file's access time picks the latency model). *)
+  let cycle_model = Wr_cost.Access_time.cycle_model_of cfg in
+  Printf.printf "Relative cycle time Tc = %.2f -> %s latencies\n\n"
+    (Wr_cost.Access_time.relative cfg)
+    (Wr_machine.Cycle_model.to_string cycle_model);
+  match
+    Wr_regalloc.Driver.run (Resource.of_config cfg) ~cycle_model
+      ~registers:cfg.Config.registers wide.Loop.ddg
+  with
+  | Wr_regalloc.Driver.Unschedulable msg -> Printf.printf "unschedulable: %s\n" msg
+  | Wr_regalloc.Driver.Scheduled s ->
+      let ii = s.Wr_regalloc.Driver.schedule.Schedule.ii in
+      Printf.printf "Scheduled: II=%d (MII=%d), %d pipeline stages\n" ii
+        s.Wr_regalloc.Driver.mii
+        (Schedule.stage_count s.Wr_regalloc.Driver.schedule);
+      Printf.printf "Registers: %d required (MaxLives %d) of %d available\n"
+        s.Wr_regalloc.Driver.alloc.Wr_regalloc.Alloc.required
+        s.Wr_regalloc.Driver.alloc.Wr_regalloc.Alloc.max_lives cfg.Config.registers;
+      Printf.printf "Cycles for the whole loop: %d (%d wide iterations x II)\n"
+        (ii * wide.Loop.trip_count) wide.Loop.trip_count;
+      Printf.printf "Datapath area: %.0f million lambda^2\n"
+        (Wr_cost.Area.total_area cfg /. 1e6);
+      Format.printf "@.The kernel:@.%a@." Schedule.pp s.Wr_regalloc.Driver.schedule

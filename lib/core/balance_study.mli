@@ -1,0 +1,29 @@
+(** Extension study: the bus : FPU balance.
+
+    The paper fixes 2 FPUs per bus with a footnote: "preliminary
+    studies show that a relation of 2 FPUs for each bus is the most
+    balanced configuration" (and the MIPS R10000's 1 memory + 2 FP
+    issue).  This study reruns that preliminary experiment: at a fixed
+    area-ish budget (constant number of issue slots), sweep the FPU :
+    bus ratio and measure the suite's peak throughput.
+
+    A machine with [b] buses and [f] FPUs has [b + f] issue slots; we
+    compare all splits of a fixed slot budget and report the weighted
+    cycles of the suite under perfect scheduling (the Figure-2 rate
+    model, which is exact for this purpose). *)
+
+type point = {
+  buses : int;
+  fpus : int;
+  ratio : float;  (** [fpus / buses] *)
+  relative_cycles : float;  (** weighted cycles, normalized to the best split *)
+}
+
+type t = (int * point list) list
+(** Per slot budget, the splits in ascending bus count. *)
+
+val run : ?slot_budgets:int list -> Wr_ir.Loop.t array -> t
+(** [slot_budgets] defaults to [[3; 6; 12]] (the 1w1, 2w1 and 4w1
+    totals). *)
+
+val to_text : t -> string

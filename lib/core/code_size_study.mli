@@ -1,0 +1,26 @@
+(** Figure 7: relative static code size of configurations with equal
+    peak performance.
+
+    The instruction word of [XwY] carries [3X] operation fields, so at
+    comparable kernel lengths (II), widening shrinks code by the width
+    factor.  The study schedules the suite with an effectively
+    unbounded register file under the 4-cycle model and reports each
+    configuration's total kernel bits relative to the pure-replication
+    member of its factor group. *)
+
+type entry = {
+  config : Wr_machine.Config.t;
+  best_case : float;
+      (** the paper's Figure 7 series: equal instruction counts, so the
+          ratio of instruction-word lengths *)
+  measured : float;
+      (** total kernel bits from our schedules — non-compactable work
+          erodes part of the best-case advantage *)
+}
+
+type t = (int * entry list) list
+(** Per factor group (2, 4, 8). *)
+
+val run : ?suite_id:string -> Wr_ir.Loop.t array -> t
+
+val to_text : t -> string

@@ -1,0 +1,171 @@
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Sia = Wr_cost.Sia
+module Register_cell = Wr_cost.Register_cell
+module Area = Wr_cost.Area
+module Access_time = Wr_cost.Access_time
+module Table = Wr_util.Table
+
+(* The published Table 4 values, kept here as the reference the model
+   is validated against. *)
+let paper_table4 =
+  [
+    ((1, 1), [| 1.00; 1.05; 1.18; 1.34 |]);
+    ((2, 1), [| 1.49; 1.54; 1.70; 1.87 |]);
+    ((1, 2), [| 1.10; 1.15; 1.29; 1.45 |]);
+    ((4, 1), [| 2.44; 2.51; 2.69; 2.90 |]);
+    ((2, 2), [| 1.65; 1.72; 1.87; 2.06 |]);
+    ((1, 4), [| 1.22; 1.27; 1.43; 1.60 |]);
+    ((8, 1), [| 4.32; 4.41; 4.61; 4.87 |]);
+    ((4, 2), [| 2.75; 2.82; 3.00; 3.23 |]);
+    ((2, 4), [| 1.85; 1.92; 2.09; 2.29 |]);
+    ((1, 8), [| 1.39; 1.45; 1.62; 1.80 |]);
+    ((16, 1), [| 8.04; 8.15; 8.39; 8.72 |]);
+    ((8, 2), [| 4.89; 4.99; 5.20; 5.48 |]);
+    ((4, 4), [| 3.10; 3.18; 3.38; 3.61 |]);
+    ((2, 8), [| 2.12; 2.20; 2.38; 2.60 |]);
+    ((1, 16), [| 1.68; 1.75; 1.93; 2.14 |]);
+  ]
+
+let register_sizes = [ 32; 64; 128; 256 ]
+
+let config_grid =
+  List.concat_map
+    (fun factor ->
+      let rec splits x acc = if x = 0 then List.rev acc else splits (x / 2) (x :: acc) in
+      List.map (fun x -> (x, factor / x)) (splits factor []))
+    [ 1; 2; 4; 8; 16 ]
+
+let table1 () =
+  Table.render ~title:"Table 1: SIA predictions (1994)"
+    ~headers:[ "generation"; "lambda (um)"; "size (mm^2)"; "lambda^2/chip (x10^6)"; "lambda^2/mm^2 (x10^6)" ]
+    (List.map
+       (fun (g : Sia.generation) ->
+         [
+           string_of_int g.Sia.year;
+           Printf.sprintf "%.2f" g.Sia.lambda_um;
+           Printf.sprintf "%.0f" g.Sia.chip_mm2;
+           Printf.sprintf "%.0f" (g.Sia.lambda2_per_chip /. 1e6);
+           Printf.sprintf "%.2f" (g.Sia.lambda2_per_mm2 /. 1e6);
+         ])
+       Sia.generations)
+
+let table2 () =
+  Table.render ~title:"Table 2: multiported register cells (model vs paper)"
+    ~headers:[ "ports"; "W model"; "H model"; "W paper"; "H paper"; "area model"; "rel" ]
+    (List.map
+       (fun ((r, w), (pw, ph)) ->
+         let d = Register_cell.dimensions ~reads:r ~writes:w in
+         let area = d.Register_cell.width *. d.Register_cell.height in
+         let base = Register_cell.area ~reads:1 ~writes:1 in
+         [
+           Printf.sprintf "%dR,%dW" r w;
+           Printf.sprintf "%.0f" d.Register_cell.width;
+           Printf.sprintf "%.0f" d.Register_cell.height;
+           string_of_int pw;
+           string_of_int ph;
+           Printf.sprintf "%.0f" area;
+           Printf.sprintf "%.2f" (area /. base);
+         ])
+       Register_cell.paper_table)
+
+let table3 () =
+  Table.render ~title:"Table 3: register file area, 64 registers (lambda^2)"
+    ~headers:[ "config"; "ports"; "cell area"; "bits/reg"; "total RF area (x10^6)" ]
+    (List.map
+       (fun (x, y) ->
+         let c = Config.xwy ~registers:64 ~x ~y () in
+         let r = Config.read_ports c and w = Config.write_ports c in
+         [
+           Config.label_short c;
+           Printf.sprintf "%dR+%dW" r w;
+           Printf.sprintf "%.0f" (Register_cell.area ~reads:r ~writes:w);
+           string_of_int (Config.bits_per_register c);
+           Printf.sprintf "%.0f" (Area.rf_area c /. 1e6);
+         ])
+       [ (4, 1); (2, 2); (1, 4) ])
+
+let figure4 () =
+  let headers =
+    "config" :: List.map (fun z -> Printf.sprintf "%d-RF" z) register_sizes
+  in
+  let rows =
+    List.map
+      (fun (x, y) ->
+        Printf.sprintf "%dw%d" x y
+        :: List.map
+             (fun z ->
+               let c = Config.xwy ~registers:z ~x ~y () in
+               Printf.sprintf "%.0f" (Area.total_area c /. 1e6))
+             register_sizes)
+      config_grid
+  in
+  let bands =
+    String.concat "\n"
+      (List.map
+         (fun (g : Sia.generation) ->
+           Printf.sprintf "  %s: 10%% = %.0f, 20%% = %.0f (x10^6 lambda^2)" (Sia.label g)
+             (0.10 *. g.Sia.lambda2_per_chip /. 1e6)
+             (0.20 *. g.Sia.lambda2_per_chip /. 1e6))
+         Sia.generations)
+  in
+  Table.render ~title:"Figure 4: area of RF + FPUs (x10^6 lambda^2)" ~headers rows
+  ^ "SIA area bands (budget for RF + FPUs):\n" ^ bands ^ "\n"
+
+let table4_pairs () =
+  List.concat_map
+    (fun ((x, y), times) ->
+      List.mapi
+        (fun i z ->
+          let c = Config.xwy ~registers:z ~x ~y () in
+          ((x, y, z), Access_time.relative c, times.(i)))
+        register_sizes)
+    paper_table4
+
+let table4 () =
+  let headers = [ "config"; "32"; "64"; "128"; "256" ] in
+  let rows =
+    List.map
+      (fun ((x, y), times) ->
+        Printf.sprintf "%dw%d" x y
+        :: List.mapi
+             (fun i z ->
+               let c = Config.xwy ~registers:z ~x ~y () in
+               Printf.sprintf "%.2f/%.2f" (Access_time.relative c) times.(i))
+             register_sizes)
+      paper_table4
+  in
+  Table.render ~title:"Table 4: relative RF access time (model/paper; baseline 1w1 32-RF)"
+    ~headers rows
+
+let figure6 () =
+  let base = Config.xwy ~registers:64 ~partitions:1 ~x:8 ~y:1 () in
+  let base_area = Area.rf_area base and base_time = Access_time.raw_time base in
+  Table.render ~title:"Figure 6: partitioning an 8w1 64-RF register file"
+    ~headers:[ "partitions"; "ports/copy"; "relative area"; "relative access time" ]
+    (List.map
+       (fun n ->
+         let c = Config.xwy ~registers:64 ~partitions:n ~x:8 ~y:1 () in
+         [
+           string_of_int n;
+           Printf.sprintf "%dR+%dW"
+             (Config.read_ports_per_partition c)
+             (Config.write_ports_per_partition c);
+           Printf.sprintf "%.2f" (Area.rf_area c /. base_area);
+           Printf.sprintf "%.2f" (Access_time.raw_time c /. base_time);
+         ])
+       [ 1; 2; 4; 8 ])
+
+let table6 () =
+  Table.render ~title:"Table 6: cycles per operation under the latency models"
+    ~headers:[ "model"; "store"; "+,*,load"; "div"; "sqrt" ]
+    (List.map
+       (fun cm ->
+         [
+           Cycle_model.to_string cm;
+           string_of_int (Cycle_model.latency cm Wr_ir.Opcode.Store_op);
+           string_of_int (Cycle_model.latency cm Wr_ir.Opcode.Short_op);
+           string_of_int (Cycle_model.latency cm Wr_ir.Opcode.Div_op);
+           string_of_int (Cycle_model.latency cm Wr_ir.Opcode.Sqrt_op);
+         ])
+       [ Cycle_model.Cycles_4; Cycle_model.Cycles_3; Cycle_model.Cycles_2; Cycle_model.Cycles_1 ])

@@ -1,0 +1,30 @@
+(** The paper's cost tables and figures that need no scheduling:
+    Table 1 (SIA roadmap), Table 2 (register cells), Table 3 (RF area
+    examples), Figure 4 (area of all configurations vs technology
+    bands), Table 4 (relative access times), Figure 6 (partitioning an
+    8w1 64-RF file), Table 6 (cycle models). *)
+
+val table1 : unit -> string
+
+val table2 : unit -> string
+(** Model dimensions side by side with the paper's exact cells. *)
+
+val table3 : unit -> string
+(** RF area of 4w1, 2w2 and 1w4 with 64 registers. *)
+
+val figure4 : unit -> string
+(** Area (RF + FPUs) for the configuration grid at 32-256 registers,
+    with the 10%/20% bands of each SIA generation. *)
+
+val table4 : unit -> string
+(** Model access times against the paper's: 60 entries. *)
+
+val table4_pairs : unit -> ((int * int * int) * float * float) list
+(** [(x, y, registers), model, paper] triples — used by the tests to
+    bound the calibration error. *)
+
+val figure6 : unit -> string
+(** Area and access time of 8w1 64-RF under 1, 2, 4, 8 partitions,
+    relative to the unpartitioned file. *)
+
+val table6 : unit -> string

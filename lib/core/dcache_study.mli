@@ -1,0 +1,28 @@
+(** Extension study: the data-cache cost of spill code.
+
+    Figure 3 charges spill code its extra bus slots; this study charges
+    its cache pollution too.  For each configuration, the suite's loops
+    are scheduled at a tight register file (32) and at an ample one
+    (256), the resulting memory traces (including the iteration-indexed
+    spill arrays, in real issue order) are replayed through a
+    direct-mapped L1 data cache, and the miss rates are compared.
+
+    Spill slots are a streaming, write-then-read-once pattern that
+    competes for cache sets with the program's own streams — the miss
+    rate increase over the no-spill baseline is spill's hidden memory
+    cost, on top of the bus slots the paper counts. *)
+
+type row = {
+  config : Wr_machine.Config.t;
+  miss_rate_ample : float;  (** 256 registers: essentially no spill *)
+  miss_rate_tight : float;  (** 32 registers: spill code included *)
+  extra_accesses : float;  (** tight/ample transaction ratio - 1 *)
+}
+
+type t = row list
+
+val run :
+  ?cache_kb:int -> ?iterations_cap:int -> Wr_ir.Loop.t array -> t
+(** Defaults: 16KB cache, traces capped at 128 iterations per loop. *)
+
+val to_text : t -> string

@@ -1,0 +1,141 @@
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Loop = Wr_ir.Loop
+module Ddg = Wr_ir.Ddg
+module Operation = Wr_ir.Operation
+module Schedule = Wr_sched.Schedule
+module Driver = Wr_regalloc.Driver
+
+type loop_result = {
+  ii : int;
+  cycles : float;
+  required_regs : int;
+  spill_stores : int;
+  spill_loads : int;
+  pipelined : bool;
+}
+
+(* Sequential fallback: iterations execute back-to-back with no
+   software pipelining.  The per-iteration cost is the flat schedule's
+   span plus the latency drain of the last operations; register demand
+   collapses to within-iteration concurrency, which always fits the
+   smallest file studied. *)
+let sequential_cost ~cycle_model g =
+  let resource_free =
+    (* Schedule at an II no smaller than the span so iterations never
+       overlap. *)
+    let upper =
+      Array.fold_left
+        (fun acc (o : Operation.t) ->
+          acc + Cycle_model.occupancy cycle_model o.Operation.opcode)
+        1 (Ddg.ops g)
+      + List.fold_left
+          (fun acc (e : Wr_ir.Dependence.t) ->
+            acc
+            + Wr_ir.Dependence.delay_rule e.Wr_ir.Dependence.kind
+                ~producer_latency:
+                  (Cycle_model.latency_of_op cycle_model
+                     (Ddg.op g e.Wr_ir.Dependence.src).Operation.opcode))
+          0 (Ddg.edges g)
+    in
+    upper
+  in
+  resource_free
+
+let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
+  (* The body is widened for the machine's width but NOT unrolled by
+     the bus count: like the paper's compiler, the scheduler works on
+     the loop as written, so the initiation interval (and with it the
+     register pressure of aggressive machines) is quantized at
+     II >= 1 per (wide) iteration. *)
+  let prepared, _stats = Wr_widen.Transform.widen loop ~width:c.Config.width in
+  let resource = Resource.of_config c in
+  match Driver.run resource ~cycle_model ~registers prepared.Loop.ddg with
+  | Driver.Scheduled s ->
+      let ii = s.Driver.schedule.Schedule.ii in
+      (* The widened loop executes trip/Y iterations of II cycles each;
+         trip_count was already divided by the transform. *)
+      let cycles = float_of_int (ii * prepared.Loop.trip_count) *. loop.Loop.weight in
+      {
+        ii;
+        cycles;
+        required_regs = s.Driver.alloc.Wr_regalloc.Alloc.required;
+        spill_stores = s.Driver.stores_added;
+        spill_loads = s.Driver.loads_added;
+        pipelined = true;
+      }
+  | Driver.Unschedulable _ ->
+      let resource_free = sequential_cost ~cycle_model prepared.Loop.ddg in
+      (* A list schedule is far shorter than the sum above; use the
+         modulo scheduler once at a non-overlapping II to get the real
+         span. *)
+      let r =
+        Wr_sched.Modulo.run resource ~cycle_model ~min_ii:resource_free prepared.Loop.ddg
+      in
+      let span =
+        Schedule.span r.Wr_sched.Modulo.schedule
+        + Cycle_model.latency cycle_model Wr_ir.Opcode.Short_op
+      in
+      {
+        ii = span;
+        cycles = float_of_int (span * prepared.Loop.trip_count) *. loop.Loop.weight;
+        required_regs = registers;
+        spill_stores = 0;
+        spill_loads = 0;
+        pipelined = false;
+      }
+
+type aggregate = {
+  total_cycles : float;
+  loops : int;
+  unpipelined : int;
+  unpipelined_weight : float;
+  spilled_loops : int;
+  total_stores : int;
+  total_loads : int;
+}
+
+let cache : (string * int * int * int * int, aggregate) Hashtbl.t = Hashtbl.create 256
+
+let clear_cache () = Hashtbl.reset cache
+
+let suite_on ~suite_id (c : Config.t) ~cycle_model ~registers loops =
+  let key =
+    (suite_id, c.Config.buses, c.Config.width, registers, Cycle_model.cycles cycle_model)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some agg -> agg
+  | None ->
+      let total_cycles = ref 0.0 in
+      let unpipelined = ref 0 and spilled = ref 0 in
+      let stores = ref 0 and loads = ref 0 in
+      let weight = ref 0.0 and fallback_weight = ref 0.0 in
+      Array.iter
+        (fun loop ->
+          let r = loop_on c ~cycle_model ~registers loop in
+          total_cycles := !total_cycles +. r.cycles;
+          weight := !weight +. loop.Loop.weight;
+          if not r.pipelined then begin
+            incr unpipelined;
+            fallback_weight := !fallback_weight +. loop.Loop.weight
+          end;
+          if r.spill_stores > 0 then incr spilled;
+          stores := !stores + r.spill_stores;
+          loads := !loads + r.spill_loads)
+        loops;
+      let agg =
+        {
+          total_cycles = !total_cycles;
+          loops = Array.length loops;
+          unpipelined = !unpipelined;
+          unpipelined_weight = (if !weight > 0.0 then !fallback_weight /. !weight else 0.0);
+          spilled_loops = !spilled;
+          total_stores = !stores;
+          total_loads = !loads;
+        }
+      in
+      Hashtbl.add cache key agg;
+      agg
+
+let acceptable agg = agg.unpipelined_weight <= 0.10

@@ -1,0 +1,58 @@
+(** Full-pipeline evaluation of loops on configurations: widen,
+    modulo-schedule, allocate registers, spill/slow down and reschedule
+    — the machinery behind the finite-register-file experiments
+    (Figure 3 and Section 5).
+
+    A loop whose register pressure cannot be contained even by spilling
+    and by slowing the pipeline down is compiled {e without} software
+    pipelining (iterations run back-to-back, no overlap, negligible
+    register demand) — what a real compiler falls back to.  A
+    configuration where such fallbacks carry more than a small share of
+    the execution weight is reported as not schedulable, matching the
+    paper's missing 8w1 32-register bar.
+
+    Aggregates over a suite are memoized on
+    [(suite, buses, width, registers, cycle model)] because the
+    technology studies revisit the same operating points many times
+    (partition variants share everything but the clock). *)
+
+type loop_result = {
+  ii : int;  (** initiation interval, or the sequential span when not pipelined *)
+  cycles : float;  (** weighted execution cycles *)
+  required_regs : int;
+  spill_stores : int;
+  spill_loads : int;
+  pipelined : bool;
+}
+
+val loop_on :
+  Wr_machine.Config.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  registers:int ->
+  Wr_ir.Loop.t ->
+  loop_result
+
+type aggregate = {
+  total_cycles : float;  (** weighted cycles over all loops *)
+  loops : int;
+  unpipelined : int;  (** loops that fell back to sequential iteration *)
+  unpipelined_weight : float;  (** weight share of the fallbacks, in [0,1] *)
+  spilled_loops : int;
+  total_stores : int;
+  total_loads : int;
+}
+
+val suite_on :
+  suite_id:string ->
+  Wr_machine.Config.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  registers:int ->
+  Wr_ir.Loop.t array ->
+  aggregate
+(** Memoized; [suite_id] must uniquely name the loop array passed. *)
+
+val acceptable : aggregate -> bool
+(** Whether the configuration point counts as schedulable: fallbacks
+    carry at most 10% of the execution weight. *)
+
+val clear_cache : unit -> unit

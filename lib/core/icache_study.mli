@@ -1,0 +1,38 @@
+(** Extension study: the instruction-cache side of widening.
+
+    The paper's Figure 7 shows widening shrinks static code; Section 2
+    predicts this "can reduce the miss rate of the instruction cache",
+    but the study never quantifies it (perfect memory).  Here we do:
+    each loop of the suite is scheduled, code-generated with modulo
+    variable expansion, and its full static footprint (prologue +
+    unrolled kernel + epilogue, one word = slots x 32 bits) is run
+    through the streaming I-cache model of {!Wr_cost.Icache}.
+
+    Reported per factor-group configuration and cache size:
+
+    {ul
+    {- the fraction of suite loops whose code does not fit the cache;}
+    {- the aggregate fetch-stall overhead relative to compute
+       cycles.}}
+
+    Expectation (and the measured outcome): at equal peak capability,
+    the replication-heavy machines' wider words and larger MVE unroll
+    factors overflow small instruction caches on a substantial share of
+    loops, while the widened machines stay resident — turning Figure
+    7's static observation into a performance argument. *)
+
+type cell = {
+  config : Wr_machine.Config.t;
+  cache_kb : int;
+  over_capacity_share : float;  (** fraction of loops not resident, in [0,1] *)
+  mean_overhead : float;
+      (** aggregate fetch stalls / aggregate compute cycles over the
+          suite *)
+}
+
+type t = cell list
+
+val run : ?cache_sizes_kb:int list -> Wr_ir.Loop.t array -> t
+(** [cache_sizes_kb] defaults to [4; 8; 16; 32]. *)
+
+val to_text : t -> string

@@ -1,0 +1,100 @@
+module Config = Wr_machine.Config
+module Sia = Wr_cost.Sia
+module Area = Wr_cost.Area
+
+type verdict = First_at of int | Never | Not_applicable
+
+type cell = { registers : int; partitions : int; verdict : verdict }
+
+type row = { x : int; y : int; cells : cell list }
+
+let register_sizes = [ 32; 64; 128; 256 ]
+
+let partition_options = [ 1; 2; 4; 8; 16 ]
+
+let grid =
+  List.concat_map
+    (fun factor ->
+      let rec splits x acc = if x = 0 then List.rev acc else splits (x / 2) (x :: acc) in
+      List.map (fun x -> (x, factor / x)) (splits factor []))
+    [ 1; 2; 4; 8; 16 ]
+
+let verdict_of ~budget x y z n =
+  if n > x || x mod n <> 0 then Not_applicable
+  else begin
+    let c = Config.xwy ~registers:z ~partitions:n ~x ~y () in
+    let first =
+      List.find_opt (fun g -> Area.implementable ~budget c g) Sia.generations
+    in
+    match first with Some g -> First_at g.Sia.year | None -> Never
+  end
+
+let run ?(budget = 0.20) () =
+  List.map
+    (fun (x, y) ->
+      let cells =
+        List.concat_map
+          (fun z ->
+            List.map
+              (fun n ->
+                { registers = z; partitions = n; verdict = verdict_of ~budget x y z n })
+              partition_options)
+          register_sizes
+      in
+      { x; y; cells })
+    grid
+
+(* Table 5's symbols, one per generation. *)
+let symbol = function
+  | Not_applicable -> "."
+  | Never -> "X"
+  | First_at 1998 -> "a"
+  | First_at 2001 -> "b"
+  | First_at 2004 -> "c"
+  | First_at 2007 -> "d"
+  | First_at 2010 -> "e"
+  | First_at _ -> "?"
+
+let to_text rows =
+  let headers =
+    "config"
+    :: List.map
+         (fun z -> Printf.sprintf "%d-RF n=1,2,4,8,16" z)
+         register_sizes
+  in
+  let body =
+    List.map
+      (fun r ->
+        let by_registers =
+          List.map
+            (fun z ->
+              String.concat ""
+                (List.filter_map
+                   (fun c ->
+                     if c.registers = z then Some (symbol c.verdict) else None)
+                   r.cells))
+            register_sizes
+        in
+        Printf.sprintf "%dw%d" r.x r.y :: by_registers)
+      rows
+  in
+  Wr_util.Table.render
+    ~title:
+      "Table 5: first implementable generation (a=0.25um 1998, b=0.18, c=0.13, d=0.10, \
+       e=0.07; X=never, .=partitioning not applicable)"
+    ~headers body
+
+let implementable_configs ?(budget = 0.20) g =
+  List.concat_map
+    (fun (x, y) ->
+      List.concat_map
+        (fun z ->
+          List.filter_map
+            (fun n ->
+              if n > x || x mod n <> 0 then None
+              else
+                let c = Config.xwy ~registers:z ~partitions:n ~x ~y () in
+                if Area.implementable ~budget c g then Some c else None)
+            partition_options)
+        register_sizes)
+    grid

@@ -1,0 +1,28 @@
+(** Table 5: which configurations each SIA generation can implement.
+
+    A configuration [XwY(Z:n)] is implementable when its register file
+    plus FPUs fit in 20% of the generation's die.  The table reports,
+    for every configuration, register file size and applicable
+    partitioning, the {e first} generation that can build it (a later
+    generation can always build everything an earlier one could). *)
+
+type verdict =
+  | First_at of int  (** year of the first generation that fits it *)
+  | Never  (** not implementable even at 0.07 um *)
+  | Not_applicable  (** partition count does not divide the datapath *)
+
+type cell = { registers : int; partitions : int; verdict : verdict }
+
+type row = { x : int; y : int; cells : cell list }
+
+val run : ?budget:float -> unit -> row list
+(** The paper's grid: factors 1-16, register files 32-256, partitions
+    1-16.  [budget] is the die-area share allowed for the datapath
+    (default 0.20; the paper's Figure 4 also draws the 10% band). *)
+
+val to_text : row list -> string
+
+val implementable_configs : ?budget:float -> Wr_cost.Sia.generation -> Wr_machine.Config.t list
+(** All concrete [XwY(Z:n)] points (factors up to 16) the generation
+    can build — the candidate set for the Section 5 performance
+    ranking. *)

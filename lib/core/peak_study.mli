@@ -1,0 +1,19 @@
+(** Figure 2: maximum achievable ILP under perfect conditions.
+
+    For every power-of-two scaling factor up to 128 and every [XwY]
+    split of it, the speed-up over the 1w1 baseline assuming perfect
+    scheduling, perfect memory and an infinite register file — computed
+    from the analytic rates of {!Rates}. *)
+
+type point = { config : Wr_machine.Config.t; speedup : float }
+
+type t = (int * point list) list
+(** Per factor (2, 4, ..., max), the configurations of that factor in
+    the paper's order (replication-heavy first). *)
+
+val run : ?max_factor:int -> Wr_ir.Loop.t array -> t
+(** [max_factor] defaults to 128. *)
+
+val to_text : t -> string
+(** The figure as a table plus an ASCII rendering of the two pure
+    series (Xw1 and 1wY). *)

@@ -1,0 +1,72 @@
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Ddg = Wr_ir.Ddg
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Loop = Wr_ir.Loop
+
+type t = {
+  rec_rate : float;
+  bus_rate : float;
+  fpu_rate : float;
+  cycles_per_iteration : float;
+}
+
+(* Recurrence rates depend only on the graph and the cycle model, and
+   are queried for every configuration of the grid; memoize per loop
+   (keyed by the graph's physical identity). *)
+let rec_rate_cache : (int * int, float) Hashtbl.t = Hashtbl.create 4096
+
+let loop_key (l : Loop.t) = Hashtbl.hash (l.Loop.name, Ddg.num_ops l.Loop.ddg)
+
+let rec_rate_of ~cycle_model (l : Loop.t) =
+  let key = (loop_key l, Cycle_model.cycles cycle_model) in
+  match Hashtbl.find_opt rec_rate_cache key with
+  | Some r -> r
+  | None ->
+      let r = Wr_sched.Mii.rec_rate ~cycle_model l.Loop.ddg in
+      Hashtbl.add rec_rate_cache key r;
+      r
+
+let compact_cache : (int * int, bool array) Hashtbl.t = Hashtbl.create 4096
+
+let compactable_of ~width (l : Loop.t) =
+  let key = (loop_key l, width) in
+  match Hashtbl.find_opt compact_cache key with
+  | Some c -> c
+  | None ->
+      let c = (Wr_widen.Compact.analyze ~width l.Loop.ddg).Wr_widen.Compact.compactable in
+      Hashtbl.add compact_cache key c;
+      c
+
+(* Figure 2 is a limits study: perfect scheduling with unbounded
+   unrolling hides the II >= 1 quantization, so the cost per source
+   iteration is the continuous rate — compactable work needs 1/Y of a
+   slot on a width-Y machine, everything else a full slot, and
+   recurrences impose their cycle ratio regardless of resources.  (The
+   finite-register experiments in Evaluate use the real scheduler on
+   the non-unrolled body instead.) *)
+let of_loop (c : Config.t) ~cycle_model (l : Loop.t) =
+  let g = l.Loop.ddg in
+  let compactable = compactable_of ~width:c.Config.width l in
+  let y = float_of_int c.Config.width in
+  let bus = ref 0.0 and fpu = ref 0.0 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      let occ = float_of_int (Cycle_model.occupancy cycle_model o.Operation.opcode) in
+      let demand = if compactable.(o.Operation.id) then occ /. y else occ in
+      match Opcode.resource_class o.Operation.opcode with
+      | Opcode.Bus -> bus := !bus +. demand
+      | Opcode.Fpu -> fpu := !fpu +. demand)
+    (Ddg.ops g);
+  let bus_rate = !bus /. float_of_int c.Config.buses in
+  let fpu_rate = !fpu /. float_of_int c.Config.fpus in
+  let rec_rate = rec_rate_of ~cycle_model l in
+  let cycles_per_iteration =
+    Stdlib.max 1e-6 (Stdlib.max rec_rate (Stdlib.max bus_rate fpu_rate))
+  in
+  { rec_rate; bus_rate; fpu_rate; cycles_per_iteration }
+
+let loop_cycles c ~cycle_model l =
+  let r = of_loop c ~cycle_model l in
+  r.cycles_per_iteration *. float_of_int l.Loop.trip_count *. l.Loop.weight

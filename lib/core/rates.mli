@@ -1,0 +1,31 @@
+(** Analytic ILP limits under perfect scheduling (paper, Section 3.1).
+
+    Figure 2 assumes a perfect schedule, perfect memory and an infinite
+    register file, so a loop's steady-state cost on a configuration is
+    the larger of two {e rates} (cycles per source iteration):
+
+    {ul
+    {- the recurrence rate — the critical cycle ratio of the dependence
+       graph, independent of resources;}
+    {- the resource rate — total slot occupancy per iteration divided
+       by slots per cycle, where a compactable operation on a width-[Y]
+       machine needs only [1/Y] of a slot.}}
+
+    Computing the rates directly (instead of materializing the widened
+    and unrolled graph) makes the 128-wide corner of the design space
+    tractable. *)
+
+type t = {
+  rec_rate : float;
+  bus_rate : float;
+  fpu_rate : float;
+  cycles_per_iteration : float;  (** max of the three; never below a hair above 0 *)
+}
+
+val of_loop :
+  Wr_machine.Config.t -> cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Loop.t -> t
+
+val loop_cycles :
+  Wr_machine.Config.t -> cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Loop.t -> float
+(** [cycles_per_iteration * trip_count * weight] — the loop's weighted
+    contribution to total execution cycles. *)

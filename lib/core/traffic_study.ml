@@ -1,0 +1,104 @@
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Loop = Wr_ir.Loop
+module Ddg = Wr_ir.Ddg
+module Opcode = Wr_ir.Opcode
+module Driver = Wr_regalloc.Driver
+
+type cell = {
+  config : Config.t;
+  registers : int;
+  spilled_loops : float;
+  slowed_loops : float;
+  failed_loops : float;
+  traffic_overhead : float;
+}
+
+type t = cell list
+
+let cm = Cycle_model.Cycles_4
+
+let grid = [ (2, 1); (4, 1); (2, 2); (8, 1); (4, 2); (2, 4); (1, 8) ]
+
+let run ?(registers = [ 32; 64; 128 ]) ?(suite_id = "traffic") loops =
+  ignore suite_id;
+  List.concat_map
+    (fun (x, y) ->
+      List.map
+        (fun z ->
+          let config = Config.xwy ~registers:z ~x ~y () in
+          let resource = Resource.of_config config in
+          let spilled = ref 0 and slowed = ref 0 and failed = ref 0 and counted = ref 0 in
+          let program_traffic = ref 0.0 and spill_traffic = ref 0.0 in
+          Array.iter
+            (fun (loop : Loop.t) ->
+              let wide, _ = Wr_widen.Transform.widen loop ~width:y in
+              incr counted;
+              (* Program traffic in scalar words per source execution. *)
+              let mem_ops = Ddg.scalar_count_class loop.Loop.ddg Opcode.Bus in
+              program_traffic :=
+                !program_traffic
+                +. (float_of_int (mem_ops * loop.Loop.trip_count) *. loop.Loop.weight);
+              match Driver.run resource ~cycle_model:cm ~registers:z wide.Loop.ddg with
+              | Driver.Scheduled s when s.Driver.stores_added + s.Driver.loads_added > 0 ->
+                  incr spilled;
+                  let extra_static = s.Driver.stores_added + s.Driver.loads_added in
+                  spill_traffic :=
+                    !spill_traffic
+                    +. (float_of_int (extra_static * wide.Loop.trip_count) *. loop.Loop.weight)
+              | Driver.Scheduled s ->
+                  if s.Driver.schedule.Wr_sched.Schedule.ii > s.Driver.mii then incr slowed
+              | Driver.Unschedulable _ -> incr failed)
+            loops;
+          let n = float_of_int (Stdlib.max 1 !counted) in
+          {
+            config;
+            registers = z;
+            spilled_loops = float_of_int !spilled /. n;
+            slowed_loops = float_of_int !slowed /. n;
+            failed_loops = float_of_int !failed /. n;
+            traffic_overhead = !spill_traffic /. Stdlib.max 1.0 !program_traffic;
+          })
+        registers)
+    grid
+
+let to_text t =
+  let registers = List.sort_uniq compare (List.map (fun c -> c.registers) t) in
+  let headers =
+    "config"
+    :: List.concat_map
+         (fun z ->
+           [
+             Printf.sprintf "%d-RF spill/slow/fail" z; Printf.sprintf "%d-RF traffic" z;
+           ])
+         registers
+  in
+  let rows =
+    List.map
+      (fun (x, y) ->
+        Printf.sprintf "%dw%d" x y
+        :: List.concat_map
+             (fun z ->
+               match
+                 List.find_opt
+                   (fun c ->
+                     c.config.Config.buses = x && c.config.Config.width = y
+                     && c.registers = z)
+                   t
+               with
+               | Some c ->
+                   [
+                     Printf.sprintf "%.0f/%.0f/%.0f%%" (100.0 *. c.spilled_loops)
+                       (100.0 *. c.slowed_loops) (100.0 *. c.failed_loops);
+                     Printf.sprintf "+%.1f%%" (100.0 *. c.traffic_overhead);
+                   ]
+               | None -> [ "-"; "-" ])
+             registers)
+      grid
+  in
+  Wr_util.Table.render
+    ~title:
+      "Extension: register-pressure responses (loops that spill / slow down / fail per RF \
+       size) and spill memory traffic vs program traffic, execution-weighted"
+    ~headers rows

@@ -1,0 +1,29 @@
+(** Extension study: spill memory traffic.
+
+    The paper (Section 3.2) warns that "spill code increases the memory
+    traffic and can result in an increase of the II".  Figure 3 shows
+    the II side; this study shows the traffic side: per configuration
+    and register file size, the extra loads and stores the spiller
+    inserts, as a fraction of the program's own memory traffic.
+
+    Together with {!Icache_study} this covers both memory-system
+    effects the paper's perfect-memory assumption hides. *)
+
+type cell = {
+  config : Wr_machine.Config.t;
+  registers : int;
+  spilled_loops : float;  (** fraction of loops that needed spill code *)
+  slowed_loops : float;
+      (** fraction that resolved the pressure by running above the MII
+          without spilling (the II-escalation lever) *)
+  failed_loops : float;  (** fraction neither lever could fit *)
+  traffic_overhead : float;
+      (** (spill loads + stores) / (program loads + stores), weighted
+          by execution *)
+}
+
+type t = cell list
+
+val run : ?registers:int list -> ?suite_id:string -> Wr_ir.Loop.t array -> t
+
+val to_text : t -> string

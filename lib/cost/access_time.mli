@@ -1,0 +1,42 @@
+(** Register-file access-time model (paper, Section 4.2; Table 4).
+
+    Following the CACTI adaptation the paper cites (Farkas; Wilton &
+    Jouppi), the read path is a sum of decoder, wordline, bitline,
+    sense, output-drive and precharge terms.  The dominant geometric
+    drivers are the number of registers (decoder depth and bitline
+    length), the row width in bits (wordline length) and the cell
+    dimensions (which grow with port count):
+
+    [t = a*ln(Z) + b*(B*Wc)^p + c*Hc^r*Z^s + d]
+
+    where [Z] is the register count, [B] the bits per register and
+    [Wc x Hc] the cell dimensions for the per-partition port counts.
+    The coefficients were fitted offline (see [tools/fit_access_time])
+    against the 60 relative access times of Table 4; the fit reproduces
+    the table with a 3.6% rms relative error (8.9% worst case).  All
+    times are relative to the 1w1 32-register single-partition
+    baseline, as in the paper. *)
+
+type coefficients = {
+  decode : float;  (** [a] *)
+  wordline : float;  (** [b] *)
+  wordline_exp : float;  (** [p] *)
+  bitline : float;  (** [c] *)
+  height_exp : float;  (** [r] *)
+  regs_exp : float;  (** [s] *)
+  constant : float;  (** [d] *)
+}
+
+val default_coefficients : coefficients
+
+val raw_time : ?coefficients:coefficients -> Wr_machine.Config.t -> float
+(** Unnormalized model value. *)
+
+val relative : ?coefficients:coefficients -> Wr_machine.Config.t -> float
+(** Access time relative to 1w1(32:1) — the paper's Table 4 metric,
+    and the relative cycle time [Tc] used for latency adaptation in
+    Section 5. *)
+
+val cycle_model_of : Wr_machine.Config.t -> Wr_machine.Cycle_model.t
+(** The latency model the configuration runs under when the processor
+    is clocked at its register file's access time (Section 5.2). *)

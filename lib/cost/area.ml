@@ -1,0 +1,19 @@
+module Config = Wr_machine.Config
+
+let fpu_lambda2 = 192.0e6
+
+let fpu_area (c : Config.t) = float_of_int (c.Config.fpus * c.Config.width) *. fpu_lambda2
+
+let rf_area (c : Config.t) =
+  let cell =
+    Register_cell.area
+      ~reads:(Config.read_ports_per_partition c)
+      ~writes:(Config.write_ports_per_partition c)
+  in
+  float_of_int (c.Config.partitions * c.Config.registers * Config.bits_per_register c) *. cell
+
+let total_area c = rf_area c +. fpu_area c
+
+let chip_fraction c (g : Sia.generation) = total_area c /. g.Sia.lambda2_per_chip
+
+let implementable ?(budget = 0.20) c g = chip_fraction c g <= budget

@@ -1,0 +1,29 @@
+(** Area model for the datapath the study sizes: register file plus
+    FPUs (paper, Section 4.1).
+
+    The FPU reference point is the MIPS R10000 floating-point unit
+    (multiplier + adder + divider): 12 mm^2 at 0.25 um, i.e.
+    192e6 lambda^2 per scalar FPU; a width-[Y] unit replicates the
+    datapath [Y] times.  The register file is dominated by its cell
+    array: [registers * bits * cell_area], where the cell is sized by
+    the per-partition port counts; [n] partitions replicate the whole
+    array [n] times (every copy holds all the data). *)
+
+val fpu_lambda2 : float
+(** 192e6 — one scalar general-purpose FPU. *)
+
+val fpu_area : Wr_machine.Config.t -> float
+(** All FPUs: [fpus * width * fpu_lambda2]. *)
+
+val rf_area : Wr_machine.Config.t -> float
+(** Whole register file, all partitions, lambda^2. *)
+
+val total_area : Wr_machine.Config.t -> float
+(** [rf_area + fpu_area]. *)
+
+val chip_fraction : Wr_machine.Config.t -> Sia.generation -> float
+(** Share of the generation's die the datapath occupies. *)
+
+val implementable : ?budget:float -> Wr_machine.Config.t -> Sia.generation -> bool
+(** Whether the datapath fits the area budget (default 0.20 — the
+    paper's 20% limit for functional units plus register file). *)

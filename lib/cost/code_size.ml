@@ -1,0 +1,10 @@
+module Config = Wr_machine.Config
+
+let field_bits = 32
+
+let word_bits (c : Config.t) = (c.Config.buses + c.Config.fpus) * field_bits
+
+let loop_code_bits c ~ii = ii * word_bits c
+
+let relative c ~ii ~baseline ~baseline_ii =
+  float_of_int (loop_code_bits c ~ii) /. float_of_int (loop_code_bits baseline ~ii:baseline_ii)

@@ -1,0 +1,24 @@
+(** VLIW code-size model (paper, Section 4.3; Figure 7).
+
+    An instruction word carries one field per issue slot: [X] memory
+    fields plus [2X] FPU fields.  A wide operation occupies a single
+    field — compacting reduces the number of fields, not their size —
+    so the word length of [XwY] is proportional to [X] and the static
+    code of a software-pipelined loop is [II * word_length] (the kernel
+    dominates; prologue/epilogue scale the same way). *)
+
+val field_bits : int
+(** Bits per operation field (32 — a generous fixed encoding;
+    relative comparisons do not depend on it). *)
+
+val word_bits : Wr_machine.Config.t -> int
+(** Instruction word length in bits: [(buses + fpus) * field_bits]. *)
+
+val loop_code_bits : Wr_machine.Config.t -> ii:int -> int
+(** Static kernel size of one software-pipelined loop. *)
+
+val relative :
+  Wr_machine.Config.t -> ii:int -> baseline:Wr_machine.Config.t -> baseline_ii:int -> float
+(** Code size relative to a baseline configuration (Figure 7 compares
+    configurations of equal peak performance against the pure
+    replication member of the group). *)

@@ -1,0 +1,24 @@
+type t = { size_bytes : int; line_bytes : int; miss_penalty : int }
+
+let make ?(line_bytes = 32) ?(miss_penalty = 12) ~size_bytes () =
+  if size_bytes <= 0 || line_bytes <= 0 || miss_penalty < 0 then
+    invalid_arg "Icache.make: non-positive parameter";
+  if line_bytes > size_bytes then invalid_arg "Icache.make: line larger than cache";
+  { size_bytes; line_bytes; miss_penalty }
+
+let lines t ~code_bytes = (code_bytes + t.line_bytes - 1) / t.line_bytes
+
+let resident t ~code_bytes = code_bytes <= t.size_bytes
+
+let fetch_stall_cycles t ~code_bytes ~kernel_passes =
+  if code_bytes <= 0 || kernel_passes <= 0 then 0
+  else
+    let l = lines t ~code_bytes in
+    if resident t ~code_bytes then l * t.miss_penalty
+    else l * kernel_passes * t.miss_penalty
+
+let overhead t ~code_bytes ~kernel_passes ~kernel_cycles =
+  if kernel_cycles <= 0 then 0.0
+  else
+    float_of_int (fetch_stall_cycles t ~code_bytes ~kernel_passes)
+    /. float_of_int kernel_cycles

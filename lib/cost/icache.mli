@@ -1,0 +1,41 @@
+(** Instruction-cache model.
+
+    The paper notes (Section 2) that widening's shorter instruction
+    words "can reduce the miss rate of the instruction cache and
+    further improve performance", but excludes the effect from its
+    study by assuming perfect memory (Section 4.3).  This module
+    supplies the missing piece: a streaming-loop I-cache model that the
+    {!Core.Icache_study} extension uses to quantify the effect.
+
+    A software-pipelined loop's instruction stream is its prologue +
+    unrolled kernel + epilogue, fetched front to back each kernel pass.
+    For such a streaming access pattern:
+
+    {ul
+    {- a resident loop (code <= cache) pays only cold misses: one per
+       line;}
+    {- an oversized loop evicts itself every pass (cyclic streaming has
+       no temporal locality a LRU or direct-mapped cache can keep), so
+       every line misses on every kernel pass.}} *)
+
+type t = {
+  size_bytes : int;
+  line_bytes : int;
+  miss_penalty : int;  (** cycles per miss *)
+}
+
+val make : ?line_bytes:int -> ?miss_penalty:int -> size_bytes:int -> unit -> t
+(** Defaults: 32-byte lines, 12-cycle penalty (a late-90s L2 round
+    trip).  Raises [Invalid_argument] on non-positive sizes or a line
+    exceeding the cache. *)
+
+val resident : t -> code_bytes:int -> bool
+
+val fetch_stall_cycles : t -> code_bytes:int -> kernel_passes:int -> int
+(** Total fetch-stall cycles for a loop of the given static size
+    executing the given number of kernel passes. *)
+
+val overhead :
+  t -> code_bytes:int -> kernel_passes:int -> kernel_cycles:int -> float
+(** Fetch stalls as a fraction of the loop's compute cycles
+    ([II * iterations]). *)

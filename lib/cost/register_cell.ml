@@ -1,0 +1,56 @@
+type dims = { width : float; height : float }
+
+(* Paper, Table 2. *)
+let paper_table =
+  [
+    ((1, 1), (50, 41));
+    ((2, 1), (64, 41));
+    ((5, 3), (162, 81));
+    ((10, 6), (316, 145));
+    ((20, 12), (568, 257));
+  ]
+
+(* Width anchors in x = reads + 2*writes; height anchors in
+   x = reads + writes — the per-port line counts. *)
+let width_anchors = [ (3.0, 50.0); (4.0, 64.0); (11.0, 162.0); (22.0, 316.0); (44.0, 568.0) ]
+
+let height_anchors = [ (2.0, 41.0); (3.0, 41.0); (8.0, 81.0); (16.0, 145.0); (32.0, 257.0) ]
+
+(* Piecewise-linear through the anchors, extrapolating with the outer
+   segment slopes. *)
+let interpolate anchors x =
+  let rec segments = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        if x <= x2 then
+          let slope = (y2 -. y1) /. (x2 -. x1) in
+          y1 +. ((x -. x1) *. slope)
+        else segments rest
+    | [ (x1, y1) ] ->
+        (* Beyond the last anchor: should have been caught by the
+           two-element case; extrapolate flat as a fallback. *)
+        y1 +. (x -. x1) *. 0.0
+    | [] -> invalid_arg "Register_cell.interpolate: no anchors"
+  in
+  match anchors with
+  | (x0, y0) :: (x1, y1) :: _ when x < x0 ->
+      (* Below the first anchor: first segment slope. *)
+      y0 +. ((x -. x0) *. (y1 -. y0) /. (x1 -. x0))
+  | _ ->
+      let rec last_two = function
+        | [ (x1, y1); (x2, y2) ] -> ((x1, y1), (x2, y2))
+        | _ :: rest -> last_two rest
+        | [] -> invalid_arg "Register_cell.interpolate: no anchors"
+      in
+      let (x1, y1), (x2, y2) = last_two anchors in
+      if x > x2 then y2 +. ((x -. x2) *. (y2 -. y1) /. (x2 -. x1)) else segments anchors
+
+let dimensions ~reads ~writes =
+  if reads <= 0 || writes <= 0 then
+    invalid_arg "Register_cell.dimensions: ports must be positive";
+  let width = interpolate width_anchors (float_of_int (reads + (2 * writes))) in
+  let height = interpolate height_anchors (float_of_int (reads + writes)) in
+  { width; height }
+
+let area ~reads ~writes =
+  let d = dimensions ~reads ~writes in
+  d.width *. d.height

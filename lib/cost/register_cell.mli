@@ -1,0 +1,23 @@
+(** Multiported register-cell geometry (paper, Table 2).
+
+    Each read port adds an access transistor, a select line (height)
+    and a data line (width); each write port adds a select line and two
+    data lines with their transistors.  The cell therefore grows in
+    both dimensions roughly linearly in ports — area quadratically.
+    The model is piecewise-linear in [(reads + 2*writes)] for the width
+    and [(reads + writes)] for the height, anchored exactly on the five
+    cells the paper publishes, and extrapolates with the outer segment
+    slopes for larger port counts (needed for 8w1 and beyond, and for
+    partitioned files). *)
+
+type dims = { width : float; height : float }
+(** In lambda. *)
+
+val dimensions : reads:int -> writes:int -> dims
+(** Raises [Invalid_argument] on non-positive port counts. *)
+
+val area : reads:int -> writes:int -> float
+(** [width * height], lambda^2. *)
+
+val paper_table : ((int * int) * (int * int)) list
+(** The exact Table 2 rows: [((reads, writes), (width, height))]. *)

@@ -1,0 +1,185 @@
+type value = { vreg : int; distance : int }
+
+(* A pending operation: uses carry their iteration distance, which
+   Operation.t does not record (distances become flow-edge distances at
+   finish time). *)
+type pending = {
+  opcode : Opcode.t;
+  mutable def : int option;
+  mutable uses : (int * int) list;  (* (vreg, distance), operand order *)
+  mem : Memref.t option;
+}
+
+type t = {
+  name : string;
+  mutable next_vreg : int;
+  mutable ops_rev : pending list;
+  mutable num_ops : int;
+  mutable finished : bool;
+}
+
+let create ?(name = "loop") () =
+  { name; next_vreg = 0; ops_rev = []; num_ops = 0; finished = false }
+
+let check_open b = if b.finished then invalid_arg "Builder: already finished"
+
+let fresh_vreg b =
+  let v = b.next_vreg in
+  b.next_vreg <- v + 1;
+  v
+
+let live_in b =
+  check_open b;
+  { vreg = fresh_vreg b; distance = 0 }
+
+let push b opcode ~def ~uses ~mem =
+  check_open b;
+  b.ops_rev <- { opcode; def; uses; mem } :: b.ops_rev;
+  b.num_ops <- b.num_ops + 1
+
+let emit_result b opcode uses ~mem =
+  let v = fresh_vreg b in
+  push b opcode ~def:(Some v) ~uses:(List.map (fun u -> (u.vreg, u.distance)) uses) ~mem;
+  { vreg = v; distance = 0 }
+
+let load b ~array_id ?(stride = 1) ?(offset = 0) () =
+  emit_result b Opcode.Load [] ~mem:(Some (Memref.make ~array_id ~stride ~offset))
+
+let store b ~array_id ?(stride = 1) ?(offset = 0) () v =
+  push b Opcode.Store ~def:None
+    ~uses:[ (v.vreg, v.distance) ]
+    ~mem:(Some (Memref.make ~array_id ~stride ~offset))
+
+let fadd b x y = emit_result b Opcode.Fadd [ x; y ] ~mem:None
+let fsub b x y = emit_result b Opcode.Fsub [ x; y ] ~mem:None
+let fmul b x y = emit_result b Opcode.Fmul [ x; y ] ~mem:None
+let fdiv b x y = emit_result b Opcode.Fdiv [ x; y ] ~mem:None
+let fsqrt b x = emit_result b Opcode.Fsqrt [ x ] ~mem:None
+let fneg b x = emit_result b Opcode.Fneg [ x ] ~mem:None
+let fabs b x = emit_result b Opcode.Fabs [ x ] ~mem:None
+let fcopy b x = emit_result b Opcode.Fcopy [ x ] ~mem:None
+
+let carried v ~distance =
+  if distance <= 0 then invalid_arg "Builder.carried: distance must be positive";
+  { v with distance = v.distance + distance }
+
+let forward b =
+  check_open b;
+  { vreg = fresh_vreg b; distance = 0 }
+
+(* Patch the operation defining [w] to define [v] instead, remapping
+   uses of [w] recorded so far. *)
+let patch_definition b ~context v w =
+  let found = ref false in
+  List.iter
+    (fun p ->
+      (match p.def with
+      | Some d when d = w ->
+          p.def <- Some v;
+          found := true
+      | _ -> ());
+      p.uses <- List.map (fun (r, d) -> if r = w then (v, d) else (r, d)) p.uses)
+    b.ops_rev;
+  if not !found then
+    invalid_arg (context ^ ": expected a fresh operation result")
+
+let resolve b fwd actual =
+  check_open b;
+  if actual.distance <> 0 then invalid_arg "Builder.resolve: actual is a carried value";
+  if fwd.vreg = actual.vreg then invalid_arg "Builder.resolve: already resolved";
+  (* A previous resolve to the same forward register would have made it
+     a definition already; patch_definition's uniqueness then fails at
+     graph validation (double definition). *)
+  patch_definition b ~context:"Builder.resolve" fwd.vreg actual.vreg
+
+let feedback b ~distance ~f =
+  check_open b;
+  if distance <= 0 then invalid_arg "Builder.feedback: distance must be positive";
+  let v = fresh_vreg b in
+  let before = b.num_ops in
+  let result = f { vreg = v; distance } in
+  if result.distance <> 0 then invalid_arg "Builder.feedback: f returned a carried value";
+  if b.num_ops = before then
+    invalid_arg "Builder.feedback: f must create at least one operation";
+  patch_definition b ~context:"Builder.feedback" v result.vreg;
+  { vreg = v; distance = 0 }
+
+(* Memory ordering edges between every conflicting (store, any) pair. *)
+let memory_edges ops =
+  let edges = ref [] in
+  let n = Array.length ops in
+  let add src dst kind distance = edges := Dependence.make ~src ~dst ~kind ~distance :: !edges in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        match (ops.(i).Operation.mem, ops.(j).Operation.mem) with
+        | Some mi, Some mj
+          when ops.(i).Operation.opcode = Opcode.Store
+               || ops.(j).Operation.opcode = Opcode.Store -> (
+            match Memref.conflict mi mj with
+            | Memref.At_distance 0 ->
+                (* Same-iteration conflict: order by position in the
+                   body; emit once, from the earlier operation. *)
+                if i < j then add i j Dependence.Memory 0
+            | Memref.At_distance d -> add i j Dependence.Memory d
+            | Memref.Unknown ->
+                (* Conservative: serialize within the iteration and
+                   across consecutive iterations. *)
+                if i < j then begin
+                  add i j Dependence.Memory 0;
+                  add j i Dependence.Memory 1
+                end
+            | Memref.No_conflict -> ())
+        | _ -> ()
+    done
+  done;
+  !edges
+
+let finish b ~trip_count ?weight () =
+  check_open b;
+  b.finished <- true;
+  let pendings = Array.of_list (List.rev b.ops_rev) in
+  (* Compact virtual registers to a dense range. *)
+  let remap = Hashtbl.create 64 in
+  let next = ref 0 in
+  let lookup r =
+    match Hashtbl.find_opt remap r with
+    | Some r' -> r'
+    | None ->
+        let r' = !next in
+        incr next;
+        Hashtbl.add remap r r';
+        r'
+  in
+  (* Number defs first so that produced values get stable low ids. *)
+  Array.iter (fun p -> Option.iter (fun r -> ignore (lookup r)) p.def) pendings;
+  Array.iter (fun p -> List.iter (fun (r, _) -> ignore (lookup r)) p.uses) pendings;
+  let ops =
+    Array.mapi
+      (fun id p ->
+        Operation.make ~id ~opcode:p.opcode
+          ?def:(Option.map lookup p.def)
+          ~uses:(List.map (fun (r, _) -> lookup r) p.uses)
+          ?mem:p.mem ())
+      pendings
+  in
+  (* Flow edges from recorded (use, distance) pairs. *)
+  let def_site = Hashtbl.create 64 in
+  Array.iteri
+    (fun id p -> Option.iter (fun r -> Hashtbl.replace def_site (lookup r) id) p.def)
+    pendings;
+  let flow_edges = ref [] in
+  Array.iteri
+    (fun id p ->
+      List.iter
+        (fun (r, distance) ->
+          match Hashtbl.find_opt def_site (lookup r) with
+          | Some src ->
+              flow_edges :=
+                Dependence.make ~src ~dst:id ~kind:Dependence.Flow ~distance :: !flow_edges
+          | None -> ()  (* live-in: produced outside the loop *))
+        p.uses)
+    pendings;
+  let edges = List.rev_append !flow_edges (memory_edges ops) in
+  let ddg = Ddg.create ~num_vregs:!next ~ops ~edges in
+  Loop.make ~name:b.name ~ddg ~trip_count ?weight ()

@@ -1,0 +1,82 @@
+(** Convenience DSL for constructing loop dependence graphs.
+
+    The builder tracks def/use relations and memory references and, on
+    {!finish}, derives all register flow edges and all conservative
+    memory ordering edges automatically, so client code only describes
+    the computation:
+
+    {[
+      let b = Builder.create ~name:"daxpy" () in
+      let a = Builder.live_in b in
+      let x = Builder.load b ~array_id:0 () in
+      let y = Builder.load b ~array_id:1 () in
+      let axy = Builder.fadd b (Builder.fmul b a x) y in
+      Builder.store b ~array_id:1 () axy;
+      let loop = Builder.finish b ~trip_count:1000 ()
+    ]}
+
+    Recurrences are expressed with {!feedback}:
+
+    {[
+      let _sum =
+        Builder.feedback b ~distance:1 ~f:(fun prev -> Builder.fadd b prev x)
+    ]} *)
+
+type t
+
+type value
+(** A register value usable as an operand. *)
+
+val create : ?name:string -> unit -> t
+
+val live_in : t -> value
+(** A loop-invariant input defined outside the loop.  Wands-only
+    register allocation (the paper's strategy) excludes these from the
+    loop register file demand. *)
+
+val load : t -> array_id:int -> ?stride:int -> ?offset:int -> unit -> value
+(** Stride defaults to 1, offset to 0. *)
+
+val store : t -> array_id:int -> ?stride:int -> ?offset:int -> unit -> value -> unit
+
+val fadd : t -> value -> value -> value
+val fsub : t -> value -> value -> value
+val fmul : t -> value -> value -> value
+val fdiv : t -> value -> value -> value
+val fsqrt : t -> value -> value
+val fneg : t -> value -> value
+val fabs : t -> value -> value
+val fcopy : t -> value -> value
+
+val carried : value -> distance:int -> value
+(** [carried v ~distance] is the value [v] produced [distance]
+    iterations earlier.  [distance] must be positive. *)
+
+val feedback : t -> distance:int -> f:(value -> value) -> value
+(** [feedback b ~distance ~f] builds a recurrence: [f] receives the
+    value of the recurrence from [distance] iterations ago and must
+    return the freshly computed operation result that becomes the
+    recurrence's value.  Raises [Invalid_argument] if [f] returns a
+    value that is not a fresh operation result (e.g. a live-in). *)
+
+val forward : t -> value
+(** A forward reference: a value that will be defined later.  Until
+    {!resolve} is called it may only be consumed through {!carried}
+    (a zero-distance use would be a use-before-def; graph validation
+    rejects the cycle it creates).  Generalizes {!feedback} to
+    recurrences spanning several statements. *)
+
+val resolve : t -> value -> value -> unit
+(** [resolve b fwd actual] makes the forward reference [fwd] denote the
+    operation result [actual]: the operation defining [actual] is
+    patched to define [fwd]'s register, and uses of [actual] created in
+    between are remapped.  Raises [Invalid_argument] if [actual] is not
+    an operation result, is carried, or if [fwd] was already
+    resolved. *)
+
+val finish : t -> trip_count:int -> ?weight:float -> unit -> Loop.t
+(** Assembles the loop: derives flow edges from def/use with recorded
+    distances, adds conservative memory ordering edges between
+    conflicting references, compacts virtual register numbering, and
+    validates the graph.  The builder must not be reused
+    afterwards. *)

@@ -1,0 +1,74 @@
+(** Data dependence graph of an innermost loop body.
+
+    Vertices are the operations of one iteration; edges are
+    {!Dependence.t} values whose [distance] counts iterations.  The
+    graph may contain cycles, but every cycle must have a strictly
+    positive total distance — a zero-distance cycle has no valid
+    execution order and is rejected by {!create}. *)
+
+type t
+
+val create : num_vregs:int -> ops:Operation.t array -> edges:Dependence.t list -> t
+(** Builds and validates the graph.  Raises [Invalid_argument] when
+    operation ids are not the dense range [0 .. n-1], when an edge
+    endpoint or virtual register is out of range, when a flow edge's
+    source does not define a register used by its destination, or when
+    a zero-distance cycle exists. *)
+
+val num_ops : t -> int
+val num_vregs : t -> int
+val op : t -> int -> Operation.t
+val ops : t -> Operation.t array
+(** The returned array must not be mutated. *)
+
+val edges : t -> Dependence.t list
+val succs : t -> int -> Dependence.t list
+(** Outgoing edges of an operation. *)
+
+val preds : t -> int -> Dependence.t list
+(** Incoming edges of an operation. *)
+
+val def_site : t -> Operation.vreg -> int option
+(** The operation defining a virtual register, if any ([None] for
+    live-in values produced outside the loop). *)
+
+val users : t -> Operation.vreg -> int list
+(** Operations reading a virtual register, ascending ids; an operation
+    using the register twice appears twice. *)
+
+val count_class : t -> Opcode.resource_class -> int
+(** Number of operations of a resource class (wide operations count
+    once — they occupy one slot). *)
+
+val scalar_count_class : t -> Opcode.resource_class -> int
+(** Total scalar work of a resource class: wide operations count
+    [lanes] times. *)
+
+val scc : t -> Scc.result
+(** Strongly connected components over all edges. *)
+
+val recurrence_ops : t -> bool array
+(** [recurrence_ops g] flags the operations that belong to some cycle
+    (a component of size [> 1], or a self-edge). *)
+
+val has_recurrence : t -> bool
+
+type operand = {
+  reg : Operation.vreg;  (** register read *)
+  distance : int;  (** iterations since the value was produced *)
+  producer : int option;  (** defining operation; [None] for live-ins *)
+  lane : int option;  (** lane selection, from the operation's [lane_sel] *)
+}
+(** A fully described register input: operations store only the vreg
+    list, so the per-operand dependence distance is reconstructed from
+    the incoming flow edges (occurrences pair up with edges in sorted
+    order when a register is read at several distances). *)
+
+val operands : t -> int -> operand list
+(** Operand descriptors of one operation, in [uses] order. *)
+
+val map_ops : t -> f:(Operation.t -> Operation.t) -> t
+(** Rebuild the graph with transformed operations (ids must be
+    preserved by [f]); edges are kept.  Revalidates. *)
+
+val pp : Format.formatter -> t -> unit

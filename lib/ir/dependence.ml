@@ -1,0 +1,27 @@
+type kind = Flow | Anti | Output | Memory
+
+type t = { src : int; dst : int; kind : kind; distance : int }
+
+let make ~src ~dst ~kind ~distance =
+  if distance < 0 then invalid_arg "Dependence.make: negative distance";
+  { src; dst; kind; distance }
+
+let delay_rule kind ~producer_latency =
+  match kind with
+  | Flow -> producer_latency
+  | Anti -> 0
+  | Output -> 1
+  | Memory -> 1
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Memory -> "mem"
+
+let pp fmt t =
+  Format.fprintf fmt "op%d -[%s,d=%d]-> op%d" t.src (kind_to_string t.kind) t.distance t.dst
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,31 @@
+(** Dependence edges of the data dependence graph.
+
+    An edge [(src, dst, kind, distance)] constrains the modulo schedule
+    by [time(dst) >= time(src) + delay(kind, src) - II * distance],
+    where the delay of a flow edge is the producer's latency under the
+    active cycle model and the delays of the other kinds are small
+    constants (see {!delay_rule}).  [distance] is the number of loop
+    iterations the dependence spans: 0 for intra-iteration edges,
+    [> 0] for loop-carried edges (recurrences). *)
+
+type kind =
+  | Flow  (** true (read-after-write) dependence through a register *)
+  | Anti  (** write-after-read through a register *)
+  | Output  (** write-after-write through a register *)
+  | Memory  (** ordering dependence between memory operations *)
+
+type t = { src : int; dst : int; kind : kind; distance : int }
+
+val make : src:int -> dst:int -> kind:kind -> distance:int -> t
+(** Raises [Invalid_argument] on a negative distance. *)
+
+val delay_rule : kind -> producer_latency:int -> int
+(** The scheduling delay contributed by an edge: a [Flow] edge delays
+    by the producer's full latency; [Anti] edges allow same-cycle
+    issue (delay 0, register reads happen before writes within a
+    cycle); [Output] and [Memory] edges impose a one-cycle order. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,28 @@
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let of_ddg ?(name = "ddg") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iter
+    (fun (o : Operation.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" o.id (escape (Operation.to_string o))))
+    (Ddg.ops g);
+  List.iter
+    (fun (e : Dependence.t) ->
+      let style =
+        match e.kind with
+        | Dependence.Flow -> "solid"
+        | Dependence.Memory -> "dashed"
+        | Dependence.Anti | Dependence.Output -> "dotted"
+      in
+      let label = if e.distance = 0 then "" else Printf.sprintf ", label=\"%d\"" e.distance in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=%s%s];\n" e.src e.dst style label))
+    (Ddg.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_loop (l : Loop.t) = of_ddg ~name:l.Loop.name l.Loop.ddg

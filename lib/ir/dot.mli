@@ -1,0 +1,8 @@
+(** Graphviz export of dependence graphs, for debugging and docs. *)
+
+val of_ddg : ?name:string -> Ddg.t -> string
+(** DOT source for the graph.  Flow edges are solid, memory edges
+    dashed, anti/output edges dotted; loop-carried edges are labelled
+    with their distance. *)
+
+val of_loop : Loop.t -> string

@@ -1,0 +1,12 @@
+type t = { name : string; ddg : Ddg.t; trip_count : int; weight : float }
+
+let make ~name ~ddg ~trip_count ?(weight = 1.0) () =
+  if trip_count <= 0 then invalid_arg "Loop.make: trip_count must be positive";
+  if weight <= 0.0 then invalid_arg "Loop.make: weight must be positive";
+  { name; ddg; trip_count; weight }
+
+let num_ops t = Ddg.num_ops t.ddg
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>loop %s (trip=%d, weight=%.3f)@,%a@]" t.name t.trip_count t.weight
+    Ddg.pp t.ddg

@@ -1,0 +1,23 @@
+(** An innermost loop: a dependence graph plus execution metadata.
+
+    [trip_count] is the iteration count used to convert an initiation
+    interval into execution cycles (paper, Section 5 footnote: cycles =
+    II x iterations of the original loop).  [weight] is the loop's
+    share of whole-program execution, used when aggregating the suite
+    (the paper's 1180 loops account for 78% of the Perfect Club's
+    execution time; loops contribute proportionally). *)
+
+type t = {
+  name : string;
+  ddg : Ddg.t;
+  trip_count : int;
+  weight : float;
+}
+
+val make : name:string -> ddg:Ddg.t -> trip_count:int -> ?weight:float -> unit -> t
+(** [weight] defaults to 1.0.  Raises [Invalid_argument] on a
+    non-positive trip count or weight. *)
+
+val num_ops : t -> int
+
+val pp : Format.formatter -> t -> unit

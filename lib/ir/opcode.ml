@@ -1,0 +1,73 @@
+type t =
+  | Load
+  | Store
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fsqrt
+  | Fneg
+  | Fabs
+  | Fcopy
+
+type resource_class = Bus | Fpu
+
+type latency_class = Store_op | Short_op | Div_op | Sqrt_op
+
+let all = [ Load; Store; Fadd; Fsub; Fmul; Fdiv; Fsqrt; Fneg; Fabs; Fcopy ]
+
+let resource_class = function
+  | Load | Store -> Bus
+  | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fcopy -> Fpu
+
+let latency_class = function
+  | Store -> Store_op
+  | Load | Fadd | Fsub | Fmul | Fneg | Fabs | Fcopy -> Short_op
+  | Fdiv -> Div_op
+  | Fsqrt -> Sqrt_op
+
+let is_memory op = resource_class op = Bus
+
+let is_pipelined op =
+  match latency_class op with
+  | Store_op | Short_op -> true
+  | Div_op | Sqrt_op -> false
+
+let num_inputs = function
+  | Load -> 0
+  | Store -> 1
+  | Fadd | Fsub | Fmul | Fdiv -> 2
+  | Fsqrt | Fneg | Fabs | Fcopy -> 1
+
+let has_result = function Store -> false | _ -> true
+
+let to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fsqrt -> "fsqrt"
+  | Fneg -> "fneg"
+  | Fabs -> "fabs"
+  | Fcopy -> "fcopy"
+
+let of_string = function
+  | "load" -> Some Load
+  | "store" -> Some Store
+  | "fadd" -> Some Fadd
+  | "fsub" -> Some Fsub
+  | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv
+  | "fsqrt" -> Some Fsqrt
+  | "fneg" -> Some Fneg
+  | "fabs" -> Some Fabs
+  | "fcopy" -> Some Fcopy
+  | _ -> None
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b

@@ -1,0 +1,55 @@
+(** Operation codes of the loop IR.
+
+    The study targets the numerical inner loops of the Perfect Club, so
+    the instruction set is the floating-point/memory subset the paper
+    schedules: memory accesses execute on buses, floating-point
+    operations on FPUs.  Division and square root are not pipelined;
+    everything else is fully pipelined (paper, Section 3 and
+    Table 6). *)
+
+type t =
+  | Load
+  | Store
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fsqrt
+  | Fneg
+  | Fabs
+  | Fcopy  (** register-to-register move; also used by spill-free renaming *)
+
+type resource_class =
+  | Bus  (** memory port between the register file and the L1 cache *)
+  | Fpu  (** general-purpose floating-point unit *)
+
+type latency_class =
+  | Store_op  (** retires in one cycle *)
+  | Short_op  (** fully pipelined: loads and simple FP arithmetic *)
+  | Div_op    (** unpipelined division *)
+  | Sqrt_op   (** unpipelined square root *)
+
+val all : t list
+(** Every opcode, in a fixed order. *)
+
+val resource_class : t -> resource_class
+
+val latency_class : t -> latency_class
+
+val is_memory : t -> bool
+val is_pipelined : t -> bool
+
+val num_inputs : t -> int
+(** Number of register inputs the opcode consumes ([Load] takes none:
+    address arithmetic is carried by the memory reference, as in the
+    paper's machine model where address computation is off the critical
+    FP datapath). *)
+
+val has_result : t -> bool
+(** Whether the opcode defines a register ([Store] does not). *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

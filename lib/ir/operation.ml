@@ -1,0 +1,75 @@
+type vreg = int
+
+type t = {
+  id : int;
+  opcode : Opcode.t;
+  def : vreg option;
+  uses : vreg list;
+  lane_sel : int option list;
+  mem : Memref.t option;
+  lanes : int;
+}
+
+let make ~id ~opcode ?def ?(uses = []) ?(lane_sel = []) ?mem ?(lanes = 1) () =
+  if lanes < 1 then invalid_arg "Operation.make: lanes must be >= 1";
+  (* Wide operations may read a different number of registers than the
+     scalar arity: a wide consumer fed by scalar producers reads one
+     register per lane per operand. *)
+  if lanes = 1 && List.length uses <> Opcode.num_inputs opcode then
+    invalid_arg
+      (Printf.sprintf "Operation.make: %s expects %d register inputs, got %d"
+         (Opcode.to_string opcode) (Opcode.num_inputs opcode) (List.length uses));
+  if lane_sel <> [] && List.length lane_sel <> List.length uses then
+    invalid_arg "Operation.make: lane_sel must match uses";
+  List.iter
+    (fun sel ->
+      match sel with
+      | Some k when k < 0 -> invalid_arg "Operation.make: negative lane"
+      | _ -> ())
+    lane_sel;
+  (match (def, Opcode.has_result opcode) with
+  | Some _, false ->
+      invalid_arg
+        (Printf.sprintf "Operation.make: %s defines no register" (Opcode.to_string opcode))
+  | None, true ->
+      invalid_arg
+        (Printf.sprintf "Operation.make: %s must define a register" (Opcode.to_string opcode))
+  | _ -> ());
+  (match (mem, Opcode.is_memory opcode) with
+  | None, true ->
+      invalid_arg
+        (Printf.sprintf "Operation.make: %s needs a memory reference" (Opcode.to_string opcode))
+  | Some _, false ->
+      invalid_arg
+        (Printf.sprintf "Operation.make: %s takes no memory reference"
+           (Opcode.to_string opcode))
+  | _ -> ());
+  { id; opcode; def; uses; lane_sel; mem; lanes }
+
+let is_memory t = Opcode.is_memory t.opcode
+
+let is_wide t = t.lanes > 1
+
+let lane_of_operand t k =
+  match List.nth_opt t.lane_sel k with Some sel -> sel | None -> None
+
+let to_string t =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (Printf.sprintf "op%d: " t.id);
+  (match t.def with
+  | Some r -> Buffer.add_string buf (Printf.sprintf "v%d = " r)
+  | None -> ());
+  Buffer.add_string buf (Opcode.to_string t.opcode);
+  if t.lanes > 1 then Buffer.add_string buf (Printf.sprintf ".w%d" t.lanes);
+  List.iteri
+    (fun k r ->
+      match lane_of_operand t k with
+      | None -> Buffer.add_string buf (Printf.sprintf " v%d" r)
+      | Some lane -> Buffer.add_string buf (Printf.sprintf " v%d[%d]" r lane))
+    t.uses;
+  (match t.mem with
+  | Some m -> Buffer.add_string buf (" " ^ Memref.to_string m)
+  | None -> ());
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

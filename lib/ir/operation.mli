@@ -1,0 +1,49 @@
+(** Operations of the loop body.
+
+    An operation reads virtual registers, optionally accesses memory,
+    and optionally defines one virtual register.  After the widening
+    transform ({!module:Wr_widen} in the widen library), operations may
+    be {e wide}: [lanes > 1] means the operation performs that many
+    scalar operations on packed data in a single resource slot. *)
+
+type vreg = int
+(** Virtual register number; dense from 0 within a loop. *)
+
+type t = {
+  id : int;  (** dense index within the owning graph *)
+  opcode : Opcode.t;
+  def : vreg option;  (** register defined, if any *)
+  uses : vreg list;  (** registers read, in operand order *)
+  lane_sel : int option list;
+      (** per-operand lane selection: [Some k] when the operand reads
+          word [k] of a wide register (a scalar consumer of a packed
+          producer); [None] reads the whole register (scalar-of-scalar
+          or wide-of-wide).  Empty means all-[None]. *)
+  mem : Memref.t option;  (** memory reference for [Load]/[Store] *)
+  lanes : int;  (** 1 for scalar operations; [> 1] after packing *)
+}
+
+val make :
+  id:int ->
+  opcode:Opcode.t ->
+  ?def:vreg ->
+  ?uses:vreg list ->
+  ?lane_sel:int option list ->
+  ?mem:Memref.t ->
+  ?lanes:int ->
+  unit ->
+  t
+(** Smart constructor; validates operand counts against the opcode
+    (arity, result presence, memory reference presence) and raises
+    [Invalid_argument] on mismatch.  Wide operations ([lanes > 1]) are
+    exempt from the arity check: a wide consumer whose operand is
+    produced by scalar operations reads one register per lane. *)
+
+val is_memory : t -> bool
+val is_wide : t -> bool
+
+val lane_of_operand : t -> int -> int option
+(** Lane selection of the k-th operand ([None] = whole register). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,72 @@
+type result = { component : int array; count : int }
+
+(* Iterative Tarjan: an explicit work stack holds (vertex, next child
+   index) frames so that graphs with thousands of nodes (unrolled wide
+   loops) cannot overflow the OCaml call stack. *)
+let compute ~n ~succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let component = Array.make n (-1) in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let visit root =
+    let work = ref [ (root, ref (succs root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, children) :: rest -> (
+          match !children with
+          | w :: tl ->
+              children := tl;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                work := (w, ref (succs w)) :: !work
+              end
+              else if on_stack.(w) then lowlink.(v) <- Stdlib.min lowlink.(v) index.(w)
+          | [] ->
+              work := rest;
+              (match rest with
+              | (parent, _) :: _ -> lowlink.(parent) <- Stdlib.min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                (* Pop the component rooted at v. *)
+                let rec pop () =
+                  match !stack with
+                  | [] -> assert false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      component.(w) <- !count;
+                      if w <> v then pop ()
+                in
+                pop ();
+                incr count
+              end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (* Tarjan emits components in reverse topological order already:
+     component id a > b implies no path from b's component to a's.
+     We keep that numbering (documented in the interface). *)
+  { component; count = !count }
+
+let members r =
+  let buckets = Array.make r.count [] in
+  for v = Array.length r.component - 1 downto 0 do
+    let c = r.component.(v) in
+    buckets.(c) <- v :: buckets.(c)
+  done;
+  buckets

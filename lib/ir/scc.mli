@@ -1,0 +1,21 @@
+(** Strongly connected components (Tarjan's algorithm, iterative).
+
+    Used to separate the recurrences of a dependence graph from its
+    acyclic part: every cycle of the graph lives inside one component,
+    so a loop is recurrence-free exactly when every component is a
+    singleton without a self-edge. *)
+
+type result = {
+  component : int array;  (** [component.(v)] is the component id of vertex [v] *)
+  count : int;  (** number of components *)
+}
+
+val compute : n:int -> succs:(int -> int list) -> result
+(** [compute ~n ~succs] over vertices [0 .. n-1].  Component ids are
+    assigned in reverse topological order of the condensation: if there
+    is an edge from component [a] to component [b] (with [a <> b]) then
+    [a > b]. *)
+
+val members : result -> int list array
+(** [members r] lists the vertices of each component, each list in
+    ascending vertex order. *)

@@ -1,0 +1,307 @@
+(* Hand-rolled recursive-descent parser: the format is line-oriented
+   and tiny, so a lexer/parser generator would be heavier than the
+   grammar itself. *)
+
+type statement =
+  | Def_live_in of string
+  | Def_op of string * Opcode.t * (string * int) list * Memref.t option
+  | Store of Memref.t * (string * int)
+
+type parsed_loop = {
+  name : string;
+  trip : int;
+  weight : float;
+  body : (int * statement) list;  (* line number for diagnostics *)
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* [A3[2i+5]] / [A3[i]] / [A3[i-1]] / [A3[4]] / [A3[-2i+1]] *)
+let parse_memref lineno tok =
+  let err () = fail lineno "bad memory reference %S (expected A<n>[<stride>i<+offset>])" tok in
+  if String.length tok < 4 || tok.[0] <> 'A' then err ();
+  match String.index_opt tok '[' with
+  | None -> err ()
+  | Some lb ->
+      if tok.[String.length tok - 1] <> ']' then err ();
+      let array_id =
+        match int_of_string_opt (String.sub tok 1 (lb - 1)) with
+        | Some a when a >= 0 -> a
+        | _ -> err ()
+      in
+      let inner = String.sub tok (lb + 1) (String.length tok - lb - 2) in
+      (* Forms: "<k>i<+/-o>", "i<+/-o>", "<o>", "-<k>i<+/-o>" *)
+      let stride, offset =
+        match String.index_opt inner 'i' with
+        | None -> (
+            match int_of_string_opt inner with Some o -> (0, o) | None -> err ())
+        | Some ipos ->
+            let stride_str = String.sub inner 0 ipos in
+            let stride =
+              if stride_str = "" then 1
+              else if stride_str = "-" then -1
+              else match int_of_string_opt stride_str with Some s -> s | None -> err ()
+            in
+            let rest = String.sub inner (ipos + 1) (String.length inner - ipos - 1) in
+            let offset =
+              if rest = "" then 0
+              else match int_of_string_opt rest with Some o -> o | None -> err ()
+            in
+            (stride, offset)
+      in
+      Memref.make ~array_id ~stride ~offset
+
+(* [name] or [name@3] *)
+let parse_use lineno tok =
+  match String.index_opt tok '@' with
+  | None -> (tok, 0)
+  | Some i -> (
+      let name = String.sub tok 0 i in
+      let d = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match int_of_string_opt d with
+      | Some d when d > 0 -> (name, d)
+      | _ -> fail lineno "bad carried distance in %S" tok)
+
+let opcode_of lineno tok =
+  match Opcode.of_string tok with
+  | Some op when op <> Opcode.Load && op <> Opcode.Store -> op
+  | _ -> fail lineno "unknown opcode %S" tok
+
+let parse_statement lineno toks =
+  match toks with
+  | [ name; "="; "livein" ] -> Def_live_in name
+  | [ name; "="; "load"; aref ] ->
+      Def_op (name, Opcode.Load, [], Some (parse_memref lineno aref))
+  | "store" :: aref :: [ v ] -> Store (parse_memref lineno aref, parse_use lineno v)
+  | name :: "=" :: opc :: args ->
+      let op = opcode_of lineno opc in
+      let uses = List.map (parse_use lineno) args in
+      if List.length uses <> Opcode.num_inputs op then
+        fail lineno "%s expects %d operands, got %d" (Opcode.to_string op)
+          (Opcode.num_inputs op) (List.length uses);
+      Def_op (name, op, uses, None)
+  | _ -> fail lineno "cannot parse statement: %s" (String.concat " " toks)
+
+let parse_header lineno toks =
+  let rec options trip weight = function
+    | [] -> (trip, weight)
+    | "trip" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some t when t > 0 -> options t weight rest
+        | _ -> fail lineno "bad trip count %S" n)
+    | "weight" :: w :: rest -> (
+        match float_of_string_opt w with
+        | Some w when w > 0.0 -> options trip w rest
+        | _ -> fail lineno "bad weight %S" w)
+    | t :: _ -> fail lineno "unexpected token %S in loop header" t
+  in
+  match toks with
+  | "loop" :: name :: rest ->
+      let trip, weight = options 1000 1.0 rest in
+      (name, trip, weight)
+  | _ -> fail lineno "expected 'loop <name> [trip N] [weight W]'"
+
+let split_loops source =
+  let lines = String.split_on_char '\n' source in
+  let rec scan lineno acc current = function
+    | [] -> (
+        match current with
+        | Some (hl, _, _) -> fail hl "missing 'end'"
+        | None -> List.rev acc)
+    | line :: rest -> (
+        let toks = tokens (strip_comment line) in
+        match (toks, current) with
+        | [], _ -> scan (lineno + 1) acc current rest
+        | "loop" :: _, Some (hl, _, _) -> fail hl "missing 'end' before next loop"
+        | "loop" :: _, None ->
+            let name, trip, weight = parse_header lineno toks in
+            scan (lineno + 1) acc (Some (lineno, (name, trip, weight), [])) rest
+        | [ "end" ], Some (_, header, body) ->
+            let name, trip, weight = header in
+            scan (lineno + 1)
+              ({ name; trip; weight; body = List.rev body } :: acc)
+              None rest
+        | [ "end" ], None -> fail lineno "'end' outside a loop"
+        | _, None -> fail lineno "statement outside a loop"
+        | _, Some (hl, header, body) ->
+            let st = parse_statement lineno toks in
+            scan (lineno + 1) acc (Some (hl, header, (lineno, st) :: body)) rest)
+  in
+  scan 1 [] None lines
+
+let build (p : parsed_loop) =
+  let b = Builder.create ~name:p.name () in
+  (* Names defined anywhere in the body (for forward-reference
+     checks). *)
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | Def_live_in n | Def_op (n, _, _, _) ->
+          if Hashtbl.mem defined n then fail lineno "duplicate definition of %S" n;
+          Hashtbl.add defined n ()
+      | Store _ -> ())
+    p.body;
+  let env : (string, Builder.value) Hashtbl.t = Hashtbl.create 16 in
+  let forwards : (string, Builder.value) Hashtbl.t = Hashtbl.create 4 in
+  let lookup lineno (name, distance) =
+    let v =
+      match Hashtbl.find_opt env name with
+      | Some v -> v
+      | None ->
+          if not (Hashtbl.mem defined name) then fail lineno "unknown name %S" name
+          else if distance = 0 then
+            fail lineno "%S used before its definition (add @distance for a carried use)"
+              name
+          else begin
+            match Hashtbl.find_opt forwards name with
+            | Some f -> f
+            | None ->
+                let f = Builder.forward b in
+                Hashtbl.add forwards name f;
+                f
+          end
+    in
+    if distance = 0 then v else Builder.carried v ~distance
+  in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | Def_live_in name -> Hashtbl.replace env name (Builder.live_in b)
+      | Store (m, use) ->
+          Builder.store b ~array_id:m.Memref.array_id ~stride:m.Memref.stride
+            ~offset:m.Memref.offset () (lookup lineno use)
+      | Def_op (name, op, uses, mem) ->
+          let value =
+            match (op, mem) with
+            | Opcode.Load, Some m ->
+                Builder.load b ~array_id:m.Memref.array_id ~stride:m.Memref.stride
+                  ~offset:m.Memref.offset ()
+            | Opcode.Fadd, None ->
+                let a, c = (List.nth uses 0, List.nth uses 1) in
+                Builder.fadd b (lookup lineno a) (lookup lineno c)
+            | Opcode.Fsub, None ->
+                Builder.fsub b (lookup lineno (List.nth uses 0)) (lookup lineno (List.nth uses 1))
+            | Opcode.Fmul, None ->
+                Builder.fmul b (lookup lineno (List.nth uses 0)) (lookup lineno (List.nth uses 1))
+            | Opcode.Fdiv, None ->
+                Builder.fdiv b (lookup lineno (List.nth uses 0)) (lookup lineno (List.nth uses 1))
+            | Opcode.Fsqrt, None -> Builder.fsqrt b (lookup lineno (List.nth uses 0))
+            | Opcode.Fneg, None -> Builder.fneg b (lookup lineno (List.nth uses 0))
+            | Opcode.Fabs, None -> Builder.fabs b (lookup lineno (List.nth uses 0))
+            | Opcode.Fcopy, None -> Builder.fcopy b (lookup lineno (List.nth uses 0))
+            | _ -> fail lineno "malformed statement"
+          in
+          (* If the name was forward-referenced, graft the definition
+             onto the forward register. *)
+          (match Hashtbl.find_opt forwards name with
+          | Some f ->
+              (try Builder.resolve b f value
+               with Invalid_argument m -> fail lineno "%s" m);
+              Hashtbl.remove forwards name;
+              Hashtbl.replace env name f
+          | None -> Hashtbl.replace env name value))
+    p.body;
+  (match Hashtbl.length forwards with
+  | 0 -> ()
+  | _ ->
+      let names = Hashtbl.fold (fun n _ acc -> n :: acc) forwards [] in
+      fail 0 "unresolved forward references: %s" (String.concat ", " names));
+  try Builder.finish b ~trip_count:p.trip ~weight:p.weight ()
+  with Invalid_argument m -> fail 0 "invalid loop: %s" m
+
+let parse source =
+  match List.map build (split_loops source) with
+  | loops -> Ok loops
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_one source =
+  match parse source with
+  | Error e -> Error e
+  | Ok [ l ] -> Ok l
+  | Ok ls -> Error (Printf.sprintf "expected one loop, found %d" (List.length ls))
+
+(* --- printing ------------------------------------------------------- *)
+
+let memref_to_text (m : Memref.t) =
+  let index =
+    match (m.Memref.stride, m.Memref.offset) with
+    | 0, o -> string_of_int o
+    | 1, 0 -> "i"
+    | 1, o -> Printf.sprintf "i%+d" o
+    | s, 0 -> Printf.sprintf "%di" s
+    | s, o -> Printf.sprintf "%di%+d" s o
+  in
+  Printf.sprintf "A%d[%s]" m.Memref.array_id index
+
+let print (loop : Loop.t) =
+  let g = loop.Loop.ddg in
+  Array.iter
+    (fun (o : Operation.t) ->
+      if o.Operation.lanes > 1 || List.exists Option.is_some o.Operation.lane_sel then
+        invalid_arg "Text_format.print: wide operations are not representable")
+    (Ddg.ops g);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "loop %s trip %d weight %.17g\n" loop.Loop.name loop.Loop.trip_count
+       loop.Loop.weight);
+  (* Names: vN for results, cN for live-ins (first-use order). *)
+  let live_in_names = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      List.iter
+        (fun r ->
+          if Ddg.def_site g r = None && not (Hashtbl.mem live_in_names r) then begin
+            let name = Printf.sprintf "c%d" (Hashtbl.length live_in_names) in
+            Hashtbl.add live_in_names r name;
+            Buffer.add_string buf (Printf.sprintf "  %s = livein\n" name)
+          end)
+        o.Operation.uses)
+    (Ddg.ops g);
+  let name_of r =
+    match Hashtbl.find_opt live_in_names r with
+    | Some n -> n
+    | None -> Printf.sprintf "v%d" r
+  in
+  Array.iter
+    (fun (o : Operation.t) ->
+      let use (x : Ddg.operand) =
+        if x.Ddg.distance = 0 then name_of x.Ddg.reg
+        else Printf.sprintf "%s@%d" (name_of x.Ddg.reg) x.Ddg.distance
+      in
+      let uses = List.map use (Ddg.operands g o.Operation.id) in
+      let line =
+        match (o.Operation.opcode, o.Operation.def, o.Operation.mem) with
+        | Opcode.Load, Some r, Some m ->
+            Printf.sprintf "  %s = load %s" (name_of r) (memref_to_text m)
+        | Opcode.Store, None, Some m -> (
+            match uses with
+            | [ v ] -> Printf.sprintf "  store %s %s" (memref_to_text m) v
+            | _ -> invalid_arg "Text_format.print: malformed store")
+        | opc, Some r, None ->
+            Printf.sprintf "  %s = %s %s" (name_of r) (Opcode.to_string opc)
+              (String.concat " " uses)
+        | _ -> invalid_arg "Text_format.print: malformed operation"
+      in
+      Buffer.add_string buf (line ^ "\n"))
+    (Ddg.ops g);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let roundtrip_normalizes (loop : Loop.t) =
+  match parse_one (print loop) with
+  | Error _ -> false
+  | Ok l2 ->
+      Ddg.num_ops l2.Loop.ddg = Ddg.num_ops loop.Loop.ddg
+      && List.length (Ddg.edges l2.Loop.ddg) = List.length (Ddg.edges loop.Loop.ddg)
+      && l2.Loop.trip_count = loop.Loop.trip_count
+      && Float.abs (l2.Loop.weight -. loop.Loop.weight) < 1e-9

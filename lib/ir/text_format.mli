@@ -1,0 +1,47 @@
+(** Textual loop format: parse and print loops, so custom workloads can
+    live in files rather than OCaml code.
+
+    Syntax (one statement per line; [#] starts a comment):
+
+    {v
+    loop daxpy trip 1000 weight 2.5
+      a  = livein
+      x  = load A0[i]
+      y  = load A1[i]
+      t  = fmul a x
+      r  = fadd t y
+      store A1[i] r
+    end
+    v}
+
+    {ul
+    {- Memory references: [A<id>[i]], [A2[2i]], [A2[i+4]], [A0[2i-3]],
+       [A1[-1i+8]] — the affine form [stride*i + offset]; a bare [i]
+       means stride 1, a bare constant means stride 0.}
+    {- Recurrences: a use may read an earlier iteration with [@d]:
+       [s = fadd s@1 x] accumulates into [s] ([s] from one iteration
+       ago).  Self or forward references with [@d] are resolved through
+       {!Builder.feedback}/{!Builder.carried}; a plain use of a name
+       defined later in the body is an error.}
+    {- [livein] declares a loop-invariant input.}
+    {- Opcodes: [load], [store], [fadd], [fsub], [fmul], [fdiv],
+       [fsqrt], [fneg], [fabs], [fcopy].}
+    {- [trip] and [weight] are optional (defaults 1000 and 1.0); several
+       loops may appear in one file.}} *)
+
+val parse : string -> (Loop.t list, string) result
+(** Parse the loops in a source string.  The error includes a line
+    number. *)
+
+val parse_one : string -> (Loop.t, string) result
+(** Parse a source expected to contain exactly one loop. *)
+
+val print : Loop.t -> string
+(** Render a loop back to the textual format.  Lane selections and wide
+    operations (post-widening artefacts) are not representable and
+    raise [Invalid_argument]; print source-level loops only. *)
+
+val roundtrip_normalizes : Loop.t -> bool
+(** [parse (print l)] succeeds and yields a loop with the same
+    operation count, edges, trip count and weight — the property the
+    tests check. *)

@@ -1,0 +1,48 @@
+module Opcode = Wr_ir.Opcode
+
+type t = Cycles_1 | Cycles_2 | Cycles_3 | Cycles_4
+
+let all = [ Cycles_1; Cycles_2; Cycles_3; Cycles_4 ]
+
+let cycles = function Cycles_1 -> 1 | Cycles_2 -> 2 | Cycles_3 -> 3 | Cycles_4 -> 4
+
+let of_cycles = function
+  | 1 -> Some Cycles_1
+  | 2 -> Some Cycles_2
+  | 3 -> Some Cycles_3
+  | 4 -> Some Cycles_4
+  | _ -> None
+
+let of_relative_cycle_time tc =
+  if tc <= 0.0 then invalid_arg "Cycle_model.of_relative_cycle_time: non-positive";
+  let z = int_of_float (ceil (4.0 /. tc -. 1e-9)) in
+  match Stdlib.max 1 (Stdlib.min 4 z) with
+  | 1 -> Cycles_1
+  | 2 -> Cycles_2
+  | 3 -> Cycles_3
+  | _ -> Cycles_4
+
+(* Table 6 of the paper. *)
+let latency t (cls : Opcode.latency_class) =
+  match (t, cls) with
+  | _, Opcode.Store_op -> 1
+  | Cycles_4, Opcode.Short_op -> 4
+  | Cycles_3, Opcode.Short_op -> 3
+  | Cycles_2, Opcode.Short_op -> 2
+  | Cycles_1, Opcode.Short_op -> 1
+  | Cycles_4, Opcode.Div_op -> 19
+  | Cycles_3, Opcode.Div_op -> 15
+  | Cycles_2, Opcode.Div_op -> 10
+  | Cycles_1, Opcode.Div_op -> 5
+  | Cycles_4, Opcode.Sqrt_op -> 27
+  | Cycles_3, Opcode.Sqrt_op -> 21
+  | Cycles_2, Opcode.Sqrt_op -> 14
+  | Cycles_1, Opcode.Sqrt_op -> 7
+
+let latency_of_op t op = latency t (Opcode.latency_class op)
+
+let occupancy t op = if Opcode.is_pipelined op then 1 else latency_of_op t op
+
+let to_string t = Printf.sprintf "%d-cycles" (cycles t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

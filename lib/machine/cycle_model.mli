@@ -1,0 +1,38 @@
+(** Operation latency models (paper, Table 6).
+
+    The paper compares configurations at matched clock: a configuration
+    whose register file is slower gets a longer cycle, so FPU latencies
+    {e in cycles} shrink.  A configuration with relative cycle time
+    [Tc] (against the 1w1 32-register baseline) belongs to the
+    [z]-cycles model with [z = ceil(4 / Tc)], clamped to the four
+    models of Table 6.  Stores always retire in one cycle; division and
+    square root are not pipelined; all other operations are fully
+    pipelined. *)
+
+type t = Cycles_1 | Cycles_2 | Cycles_3 | Cycles_4
+
+val all : t list
+
+val cycles : t -> int
+(** 1, 2, 3 or 4. *)
+
+val of_cycles : int -> t option
+
+val of_relative_cycle_time : float -> t
+(** [of_relative_cycle_time tc] classifies a configuration; [tc] must
+    be positive.  Values faster than the baseline clamp to
+    {!Cycles_4} (the paper does not consider deeper pipelining), and
+    very slow clocks clamp to {!Cycles_1}. *)
+
+val latency : t -> Wr_ir.Opcode.latency_class -> int
+(** Result latency in cycles (Table 6). *)
+
+val latency_of_op : t -> Wr_ir.Opcode.t -> int
+
+val occupancy : t -> Wr_ir.Opcode.t -> int
+(** Number of consecutive cycles the operation blocks its functional
+    unit: 1 for pipelined operations, the full latency for division and
+    square root. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

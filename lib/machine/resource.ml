@@ -1,0 +1,21 @@
+module Opcode = Wr_ir.Opcode
+
+type t = { bus_slots : int; fpu_slots : int }
+
+let of_config (c : Config.t) = { bus_slots = c.Config.buses; fpu_slots = c.Config.fpus }
+
+let slots t = function Opcode.Bus -> t.bus_slots | Opcode.Fpu -> t.fpu_slots
+
+let fits (c : Config.t) (op : Wr_ir.Operation.t) = op.Wr_ir.Operation.lanes <= c.Config.width
+
+let total_slot_demand t ~cycle_model g =
+  ignore t;
+  let bus = ref 0 and fpu = ref 0 in
+  Array.iter
+    (fun (o : Wr_ir.Operation.t) ->
+      let occ = Cycle_model.occupancy cycle_model o.Wr_ir.Operation.opcode in
+      match Opcode.resource_class o.Wr_ir.Operation.opcode with
+      | Opcode.Bus -> bus := !bus + occ
+      | Opcode.Fpu -> fpu := !fpu + occ)
+    (Wr_ir.Ddg.ops g);
+  (!bus, !fpu)

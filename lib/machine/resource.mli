@@ -1,0 +1,23 @@
+(** Per-cycle issue slots of a configuration.
+
+    A configuration of [X] buses and [F] FPUs issues at most [X] memory
+    operations and [F] FPU operations per cycle; each operation —
+    scalar or wide — occupies exactly one slot of its class for
+    {!Cycle_model.occupancy} consecutive cycles.  Width does not add
+    slots: it lets one slot carry [lanes <= width] scalar
+    operations. *)
+
+type t = private { bus_slots : int; fpu_slots : int }
+
+val of_config : Config.t -> t
+
+val slots : t -> Wr_ir.Opcode.resource_class -> int
+
+val fits : Config.t -> Wr_ir.Operation.t -> bool
+(** Whether the operation's [lanes] fit the configuration's width. *)
+
+val total_slot_demand : t -> cycle_model:Cycle_model.t -> Wr_ir.Ddg.t -> int * int
+(** [(bus_cycles, fpu_cycles)] — the total occupancy the graph's
+    operations impose per iteration on each resource class; the
+    resource-bound lower limit of the initiation interval divides these
+    by the slot counts (see {!Wr_sched.Mii}). *)

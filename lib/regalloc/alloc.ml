@@ -1,0 +1,86 @@
+type assignment = { vreg : int; register : int; whole_registers : int }
+
+type t = { required : int; max_lives : int; assignments : assignment list; ii : int }
+
+let allocate ~ii lifetimes =
+  let max_lives = Lifetime.max_lives ~ii lifetimes in
+  (* Split every lifetime into whole registers plus a residual arc. *)
+  let items =
+    List.map
+      (fun (lt : Lifetime.t) ->
+        let len = Lifetime.length lt in
+        let whole = len / ii and rem = len mod ii in
+        let start = ((lt.Lifetime.start mod ii) + ii) mod ii in
+        (lt.Lifetime.vreg, whole, if rem = 0 then None else Some (start, rem)))
+      lifetimes
+  in
+  (* Adjacency ordering with end-fit (PLDI-92): build each register as
+     a chain of arcs, always appending the remaining arc whose start
+     follows the chain's current end with the smallest gap, until no
+     arc fits in the ring space the register has left.  This keeps the
+     fragmentation per register to the chain's terminal gap, so the
+     total stays within a few registers of MaxLives. *)
+  let with_arcs =
+    List.filter_map
+      (fun (v, w, arc) -> match arc with Some a -> Some (v, w, a) | None -> None)
+      items
+  in
+  let pending = ref (List.sort (fun (_, _, a1) (_, _, a2) -> compare a1 a2) with_arcs) in
+  let num_registers = ref 0 in
+  let arc_assignments = ref [] in
+  while !pending <> [] do
+    let reg = !num_registers in
+    incr num_registers;
+    (* Seed the chain with the earliest-starting remaining arc. *)
+    (match !pending with
+    | [] -> ()
+    | ((v0, w0, (s0, l0)) as seed) :: _ ->
+        pending := List.filter (fun x -> x != seed) !pending;
+        arc_assignments := (v0, { vreg = v0; register = reg; whole_registers = w0 }) :: !arc_assignments;
+        (* Unwrapped chain coordinates: the register is full once the
+           chain has consumed II slots past s0. *)
+        let used = ref l0 in
+        let current_end = ref ((s0 + l0) mod ii) in
+        let continue_chain = ref true in
+        while !continue_chain do
+          (* Smallest forward gap from the chain end that still fits. *)
+          let best = ref None in
+          List.iter
+            (fun ((_, _, (s, l)) as cand) ->
+              let gap = ((s - !current_end) mod ii + ii) mod ii in
+              if !used + gap + l <= ii then
+                match !best with
+                | Some (_, best_gap) when best_gap <= gap -> ()
+                | _ -> best := Some (cand, gap))
+            !pending;
+          match !best with
+          | None -> continue_chain := false
+          | Some (((v, w, (s, l)) as cand), gap) ->
+              pending := List.filter (fun x -> x != cand) !pending;
+              arc_assignments :=
+                (v, { vreg = v; register = reg; whole_registers = w }) :: !arc_assignments;
+              used := !used + gap + l;
+              current_end := (s + l) mod ii
+        done)
+  done;
+  let arc_assignments = !arc_assignments in
+  let no_arc_assignments =
+    List.filter_map
+      (fun (v, w, arc) ->
+        match arc with None -> Some (v, { vreg = v; register = -1; whole_registers = w }) | Some _ -> None)
+      items
+  in
+  let assignments =
+    List.map snd
+      (List.sort
+         (fun (v1, _) (v2, _) -> compare v1 v2)
+         (arc_assignments @ no_arc_assignments))
+  in
+  let whole_total = List.fold_left (fun acc a -> acc + a.whole_registers) 0 assignments in
+  { required = whole_total + !num_registers; max_lives; assignments; ii }
+
+let fits t ~available = t.required <= available
+
+let pp fmt t =
+  Format.fprintf fmt "alloc: %d registers required (MaxLives %d, II %d)" t.required t.max_lives
+    t.ii

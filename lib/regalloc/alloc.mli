@@ -1,0 +1,40 @@
+(** Wands-only register allocation with end-fit and adjacency ordering
+    (Rau, Lee, Tirumalai & Schlansker, PLDI-92 — the paper's
+    allocator).
+
+    In a modulo-scheduled loop every lifetime recurs each II cycles, so
+    a lifetime of length [L] consumes [L / II] whole registers plus —
+    when [L mod II > 0] — an arc of length [L mod II] on the cyclic
+    register-time ring of circumference II.  Allocation packs the
+    residual arcs into registers:
+
+    {ul
+    {- {e adjacency ordering}: arcs are processed by ascending start
+       slot (adjacent lifetimes meet end-to-start);}
+    {- {e end-fit}: each arc goes to the compatible register whose most
+       recent occupant ends closest to the arc's start, minimizing
+       wasted ring space; a fresh register is opened when no placed
+       register is compatible.}}
+
+    The achieved requirement is within a register or two of the
+    MaxLives lower bound on real schedules, matching the behaviour the
+    PLDI-92 paper reports. *)
+
+type assignment = {
+  vreg : int;
+  register : int;  (** register index the residual arc lives in, or -1 if no residual *)
+  whole_registers : int;  (** [length / II] full registers also consumed *)
+}
+
+type t = {
+  required : int;  (** total registers needed by the loop variants *)
+  max_lives : int;  (** the lower bound, for reporting *)
+  assignments : assignment list;
+  ii : int;
+}
+
+val allocate : ii:int -> Lifetime.t list -> t
+
+val fits : t -> available:int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Schedule = Wr_sched.Schedule
+module Cycle_model = Wr_machine.Cycle_model
+
+type t = { vreg : int; def_op : int; start : int; stop : int }
+
+let length t = t.stop - t.start
+
+let of_schedule g (s : Schedule.t) =
+  let lifetimes = ref [] in
+  for r = Ddg.num_vregs g - 1 downto 0 do
+    match Ddg.def_site g r with
+    | None -> ()  (* live-in: not a loop variant *)
+    | Some d ->
+        let start = s.Schedule.times.(d) in
+        let latency =
+          Cycle_model.latency_of_op s.Schedule.cycle_model (Ddg.op g d).Operation.opcode
+        in
+        (* Last read: flow successors of the defining operation that
+           read this register, at their issue time plus II per
+           iteration of dependence distance. *)
+        let last_read =
+          List.fold_left
+            (fun acc (e : Dependence.t) ->
+              if e.kind = Dependence.Flow then
+                let dst = Ddg.op g e.dst in
+                if List.mem r dst.Operation.uses then
+                  Stdlib.max acc (s.Schedule.times.(e.dst) + (s.Schedule.ii * e.distance))
+                else acc
+              else acc)
+            (-1) (Ddg.succs g d)
+        in
+        let stop = if last_read < 0 then start + latency else last_read + 1 in
+        let stop = Stdlib.max stop (start + 1) in
+        lifetimes := { vreg = r; def_op = d; start; stop } :: !lifetimes
+  done;
+  !lifetimes
+
+let max_lives ~ii lifetimes =
+  if ii <= 0 then invalid_arg "Lifetime.max_lives: ii must be positive";
+  let cover = Array.make ii 0 in
+  List.iter
+    (fun lt ->
+      let len = length lt in
+      let full = len / ii and rem = len mod ii in
+      for s = 0 to ii - 1 do
+        cover.(s) <- cover.(s) + full
+      done;
+      let base = ((lt.start mod ii) + ii) mod ii in
+      for k = 0 to rem - 1 do
+        let s = (base + k) mod ii in
+        cover.(s) <- cover.(s) + 1
+      done)
+    lifetimes;
+  Array.fold_left Stdlib.max 0 cover
+
+let pp fmt t =
+  Format.fprintf fmt "v%d: [%d, %d) by op%d (len %d)" t.vreg t.start t.stop t.def_op (length t)

@@ -1,0 +1,183 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Memref = Wr_ir.Memref
+
+type plan = { vregs : int list; estimated_savings : int }
+
+let choose ~ii ~lifetimes ~already_spilled ~deficit =
+  if deficit <= 0 then None
+  else begin
+    (* A lifetime is worth spilling when it holds a register across at
+       least one full kernel revolution (length > II) and spans more
+       than the reload round trip (length > 4). *)
+    let threshold = 4 in
+    ignore ii;
+    let candidates =
+      List.filter
+        (fun (lt : Lifetime.t) ->
+          (not (already_spilled lt.Lifetime.vreg)) && Lifetime.length lt > threshold)
+        lifetimes
+    in
+    let ordered =
+      List.sort
+        (fun a b -> compare (Lifetime.length b) (Lifetime.length a))
+        candidates
+    in
+    (* Overshoot the deficit: rescheduling after spilling lengthens
+       the remaining lifetimes (the kernel stretches), so aiming
+       exactly at the deficit under-delivers and wastes rounds. *)
+    let target = deficit + Stdlib.max 2 (deficit / 2) in
+    let rec take acc savings = function
+      | [] -> (acc, savings)
+      | lt :: rest ->
+          if savings > target then (acc, savings)
+          else
+            let gain = Stdlib.max 1 (Lifetime.length lt / Stdlib.max 1 ii) in
+            take (lt.Lifetime.vreg :: acc) (savings + gain) rest
+    in
+    match take [] 0 ordered with
+    | [], _ -> None
+    | vregs, savings -> Some { vregs = List.rev vregs; estimated_savings = savings }
+  end
+
+type result = {
+  graph : Ddg.t;
+  spilled : int list;
+  reload_vregs : int list;
+  stores_added : int;
+  loads_added : int;
+}
+
+let apply g ~vregs =
+  let spill_set = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Ddg.def_site g r with
+      | None -> invalid_arg (Printf.sprintf "Spill.apply: vreg %d has no definition" r)
+      | Some _ -> Hashtbl.replace spill_set r ())
+    vregs;
+  let is_spilled r = Hashtbl.mem spill_set r in
+  let n = Ddg.num_ops g in
+  (* Fresh spill arrays start past every existing array id. *)
+  let max_array =
+    Array.fold_left
+      (fun acc (o : Operation.t) ->
+        match o.Operation.mem with
+        | Some m -> Stdlib.max acc m.Memref.array_id
+        | None -> acc)
+      (-1) (Ddg.ops g)
+  in
+  let next_array = ref (max_array + 1) in
+  let next_vreg = ref (Ddg.num_vregs g) in
+  let next_id = ref n in
+  let new_ops = ref [] in
+  let new_edges = ref [] in
+  let reload_vregs = ref [] in
+  let stores_added = ref 0 in
+  let loads_added = ref 0 in
+  (* Per spilled vreg: its slot array and the producer's lane count
+     (wide values spill as wide stores/reloads). *)
+  let slot_info = Hashtbl.create 8 in
+  let slot_of r =
+    match Hashtbl.find_opt slot_info r with
+    | Some info -> info
+    | None ->
+        let d = Option.get (Ddg.def_site g r) in
+        let producer = Ddg.op g d in
+        let lanes = producer.Operation.lanes in
+        let array_id = !next_array in
+        incr next_array;
+        (* One slot per iteration: stride = lanes words so consecutive
+           iterations never collide (no serializing memory recurrence),
+           and a wide store covers its lanes. *)
+        let store_id = !next_id in
+        incr next_id;
+        incr stores_added;
+        let store =
+          Operation.make ~id:store_id ~opcode:Opcode.Store ~uses:[ r ]
+            ~mem:(Memref.make ~array_id ~stride:lanes ~offset:0)
+            ~lanes ()
+        in
+        new_ops := store :: !new_ops;
+        new_edges :=
+          Dependence.make ~src:d ~dst:store_id ~kind:Dependence.Flow ~distance:0
+          :: !new_edges;
+        let info = (array_id, lanes, store_id) in
+        Hashtbl.add slot_info r info;
+        info
+  in
+  (* Rewrite consumers: each read of a spilled register becomes a read
+     of a fresh reload. *)
+  let rewritten =
+    Array.map
+      (fun (o : Operation.t) ->
+        let ops_operands = Ddg.operands g o.Operation.id in
+        let needs_rewrite = List.exists (fun (x : Ddg.operand) -> is_spilled x.Ddg.reg) ops_operands in
+        if not needs_rewrite then o
+        else
+          let new_uses =
+            List.map
+              (fun (x : Ddg.operand) ->
+                if not (is_spilled x.Ddg.reg) then x.Ddg.reg
+                else begin
+                  let array_id, lanes, store_id = slot_of x.Ddg.reg in
+                  let rv = !next_vreg in
+                  incr next_vreg;
+                  reload_vregs := rv :: !reload_vregs;
+                  let load_id = !next_id in
+                  incr next_id;
+                  incr loads_added;
+                  let dist = x.Ddg.distance in
+                  let load =
+                    Operation.make ~id:load_id ~opcode:Opcode.Load ~def:rv
+                      ~mem:
+                        (Memref.make ~array_id ~stride:lanes ~offset:(-dist * lanes))
+                      ~lanes ()
+                  in
+                  new_ops := load :: !new_ops;
+                  (* The reload reads what the store wrote [dist]
+                     iterations earlier. *)
+                  new_edges :=
+                    Dependence.make ~src:store_id ~dst:load_id ~kind:Dependence.Memory
+                      ~distance:dist
+                    :: Dependence.make ~src:load_id ~dst:o.Operation.id
+                         ~kind:Dependence.Flow ~distance:0
+                    :: !new_edges;
+                  rv
+                end)
+              ops_operands
+          in
+          Operation.make ~id:o.Operation.id ~opcode:o.Operation.opcode
+            ?def:o.Operation.def ~uses:new_uses
+            ~lane_sel:(List.map (fun (x : Ddg.operand) -> x.Ddg.lane) ops_operands)
+            ?mem:o.Operation.mem ~lanes:o.Operation.lanes ())
+      (Ddg.ops g)
+  in
+  (* Surviving original edges: everything except the flow edges that
+     carried the spilled values to their consumers. *)
+  let kept_edges =
+    List.filter
+      (fun (e : Dependence.t) ->
+        match e.kind with
+        | Dependence.Flow -> (
+            match (Ddg.op g e.src).Operation.def with
+            | Some r -> not (is_spilled r)
+            | None -> true)
+        | Dependence.Anti | Dependence.Output | Dependence.Memory -> true)
+      (Ddg.edges g)
+  in
+  let ops = Array.append rewritten (Array.of_list (List.rev !new_ops)) in
+  (* New ops were assigned ids sequentially; sort to match positions. *)
+  Array.sort (fun (a : Operation.t) b -> compare a.Operation.id b.Operation.id) ops;
+  let graph =
+    Ddg.create ~num_vregs:!next_vreg ~ops ~edges:(kept_edges @ !new_edges)
+  in
+  {
+    graph;
+    spilled = vregs;
+    reload_vregs = !reload_vregs;
+    stores_added = !stores_added;
+    loads_added = !loads_added;
+  }

@@ -1,0 +1,42 @@
+(** Spill-code insertion for modulo-scheduled loops (Llosa, Valero &
+    Ayguadé, MICRO-29 — the heuristics the paper cites for
+    register-constrained software pipelining).
+
+    Spilling a loop variant stores it right after its producer and
+    reloads it in front of every consumer.  Because consecutive
+    iterations of a software-pipelined loop are in flight
+    simultaneously, the spill slot cannot be a single stack cell — each
+    iteration gets its own slot (an iteration-indexed spill array, the
+    moral equivalent of spilling to a rotating memory buffer), so the
+    spill traffic adds {e bus} pressure but no serializing memory
+    recurrence.  A consumer reading the value [d] iterations after the
+    producer reloads from the slot written [d] iterations earlier. *)
+
+type plan = {
+  vregs : int list;  (** loop variants chosen for spilling *)
+  estimated_savings : int;
+}
+
+val choose :
+  ii:int ->
+  lifetimes:Lifetime.t list ->
+  already_spilled:(int -> bool) ->
+  deficit:int ->
+  plan option
+(** Pick lifetimes to spill, longest first (they hold registers across
+    the most concurrent iterations), skipping reload-produced values
+    and lifetimes too short to pay for their spill traffic.  [None]
+    when no candidate remains. *)
+
+type result = {
+  graph : Wr_ir.Ddg.t;
+  spilled : int list;  (** original vregs spilled (for bookkeeping) *)
+  reload_vregs : int list;  (** vregs defined by inserted reloads, in the new graph *)
+  stores_added : int;
+  loads_added : int;
+}
+
+val apply : Wr_ir.Ddg.t -> vregs:int list -> result
+(** Rewrites the graph with spill stores and reloads for the given
+    variants.  Raises [Invalid_argument] when a listed vreg has no
+    definition or no lifetime to spill. *)

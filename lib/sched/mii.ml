@@ -1,0 +1,141 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Scc = Wr_ir.Scc
+
+let delay ~cycle_model g (e : Dependence.t) =
+  let src = Ddg.op g e.src in
+  Dependence.delay_rule e.kind
+    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
+
+let res_mii resource ~cycle_model g =
+  let bus, fpu = Resource.total_slot_demand resource ~cycle_model g in
+  let per_class demand slots = (demand + slots - 1) / slots in
+  Stdlib.max 1
+    (Stdlib.max
+       (per_class bus (Resource.slots resource Wr_ir.Opcode.Bus))
+       (per_class fpu (Resource.slots resource Wr_ir.Opcode.Fpu)))
+
+(* Positive-cycle detection on weights [delay - ii * distance],
+   restricted to the given vertex subset (component).  Bellman-Ford
+   with all-zero initial potentials: a relaxation still possible after
+   |subset| passes exposes a positive cycle. *)
+let feasible ~cycle_model g ~subset ~edges ~ii =
+  let n = Ddg.num_ops g in
+  let dist = Array.make n 0 in
+  let count = List.length subset in
+  let changed = ref true in
+  let pass = ref 0 in
+  while !changed && !pass <= count do
+    changed := false;
+    List.iter
+      (fun (e : Dependence.t) ->
+        let w = delay ~cycle_model g e - (ii * e.distance) in
+        if dist.(e.src) + w > dist.(e.dst) then begin
+          dist.(e.dst) <- dist.(e.src) + w;
+          changed := true
+        end)
+      edges;
+    incr pass
+  done;
+  not !changed
+
+let rec_mii_of_component ~cycle_model g ~subset ~edges =
+  match edges with
+  | [] -> 1
+  | _ ->
+      let hi =
+        Stdlib.max 1 (List.fold_left (fun acc e -> acc + delay ~cycle_model g e) 0 edges)
+      in
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if feasible ~cycle_model g ~subset ~edges ~ii:mid then search lo mid
+          else search (mid + 1) hi
+      in
+      search 1 hi
+
+(* Recurrence work is confined to strongly connected components, so we
+   bound each component separately: the graph-wide RecMII is the
+   maximum over components, and the component-level values also feed
+   the scheduler's criticality ordering. *)
+let component_rec_miis ~cycle_model g =
+  let r = Ddg.scc g in
+  let comps = Scc.members r in
+  let edges_of = Array.make r.Scc.count [] in
+  List.iter
+    (fun (e : Dependence.t) ->
+      let c = r.Scc.component.(e.src) in
+      if c = r.Scc.component.(e.dst) then edges_of.(c) <- e :: edges_of.(c))
+    (Ddg.edges g);
+  let values =
+    Array.mapi
+      (fun c subset -> rec_mii_of_component ~cycle_model g ~subset ~edges:edges_of.(c))
+      comps
+  in
+  (r, values)
+
+let rec_mii ~cycle_model g =
+  let _, values = component_rec_miis ~cycle_model g in
+  Array.fold_left Stdlib.max 1 values
+
+let mii resource ~cycle_model g =
+  Stdlib.max (res_mii resource ~cycle_model g) (rec_mii ~cycle_model g)
+
+(* Fractional feasibility: no cycle with sum(delay) - rate*sum(dist) > 0. *)
+let feasible_rate ~cycle_model g ~subset ~edges ~rate =
+  let n = Ddg.num_ops g in
+  let dist = Array.make n 0.0 in
+  let count = List.length subset in
+  let changed = ref true in
+  let pass = ref 0 in
+  while !changed && !pass <= count do
+    changed := false;
+    List.iter
+      (fun (e : Dependence.t) ->
+        let w = float_of_int (delay ~cycle_model g e) -. (rate *. float_of_int e.distance) in
+        if dist.(e.src) +. w > dist.(e.dst) +. 1e-9 then begin
+          dist.(e.dst) <- dist.(e.src) +. w;
+          changed := true
+        end)
+      edges;
+    incr pass
+  done;
+  not !changed
+
+let rec_rate ~cycle_model g =
+  let r = Ddg.scc g in
+  let comps = Scc.members r in
+  let edges_of = Array.make r.Scc.count [] in
+  List.iter
+    (fun (e : Dependence.t) ->
+      let c = r.Scc.component.(e.src) in
+      if c = r.Scc.component.(e.dst) then edges_of.(c) <- e :: edges_of.(c))
+    (Ddg.edges g);
+  let component_rate c subset =
+    match edges_of.(c) with
+    | [] -> 0.0
+    | edges ->
+        let hi =
+          Stdlib.max 1.0
+            (float_of_int (List.fold_left (fun acc e -> acc + delay ~cycle_model g e) 0 edges))
+        in
+        let rec search lo hi iters =
+          if iters = 0 then hi
+          else
+            let mid = (lo +. hi) /. 2.0 in
+            if feasible_rate ~cycle_model g ~subset ~edges ~rate:mid then search lo mid (iters - 1)
+            else search mid hi (iters - 1)
+        in
+        search 0.0 hi 40
+  in
+  let best = ref 0.0 in
+  Array.iteri (fun c subset -> best := Stdlib.max !best (component_rate c subset)) comps;
+  !best
+
+let critical_recurrence_ops ~cycle_model g ~ii =
+  let r, values = component_rec_miis ~cycle_model g in
+  Array.map (fun c -> values.(c) >= ii && values.(c) > 1) r.Scc.component

@@ -1,0 +1,37 @@
+(** Lower bounds on the initiation interval.
+
+    A modulo schedule initiates one iteration every II cycles; II is
+    bounded below by resource usage (ResMII) and by recurrences
+    (RecMII) — paper Section 1 and the classic modulo scheduling
+    literature (Rau, MICRO-27). *)
+
+val res_mii :
+  Wr_machine.Resource.t -> cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> int
+(** Resource-constrained bound: for each resource class, the total
+    occupancy the body imposes divided by the slots available per
+    cycle, rounded up; at least 1. *)
+
+val rec_mii : cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> int
+(** Recurrence-constrained bound: the smallest II such that every
+    dependence cycle [C] satisfies [sum(delay) <= II * sum(distance)].
+    Computed by binary search on II with positive-cycle detection
+    (Bellman-Ford) on edge weights [delay - II * distance]; exact.
+    1 for an acyclic graph. *)
+
+val mii :
+  Wr_machine.Resource.t -> cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> int
+(** [max (res_mii ...) (rec_mii ...)]. *)
+
+val rec_rate : cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> float
+(** The fractional recurrence bound: the maximum over dependence cycles
+    of [sum(delay) / sum(distance)] — the asymptotic minimum number of
+    cycles per source iteration a perfect schedule of unbounded
+    resources can reach (unrolling hides the II >= 1 quantization, so
+    the study's ILP-limit figures use this rational rate).  0 for an
+    acyclic graph. *)
+
+val critical_recurrence_ops :
+  cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> ii:int -> bool array
+(** Operations lying on a recurrence whose ratio achieves the given
+    [ii] (used by the scheduler's priority ordering to place critical
+    cycles first). *)

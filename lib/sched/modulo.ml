@@ -1,0 +1,262 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+
+type result = {
+  schedule : Schedule.t;
+  mii : int;
+  res_mii : int;
+  rec_mii : int;
+  placements : int;
+}
+
+let empty_schedule ~cycle_model = Schedule.make ~ii:1 ~times:[||] ~cycle_model
+
+let delay ~cycle_model g (e : Dependence.t) =
+  let src = Ddg.op g e.src in
+  Dependence.delay_rule e.kind
+    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
+
+(* height(v): longest weighted path out of v at the given II; the
+   classic IMS priority.  Weights [delay - II * distance] admit no
+   positive cycle once II >= RecMII, so value iteration converges in at
+   most n passes. *)
+let heights ~cycle_model g ~ii =
+  let n = Ddg.num_ops g in
+  let h = Array.make n 0 in
+  let changed = ref true in
+  let pass = ref 0 in
+  while !changed && !pass <= n do
+    changed := false;
+    List.iter
+      (fun (e : Dependence.t) ->
+        let w = delay ~cycle_model g e - (ii * e.distance) in
+        if w + h.(e.dst) > h.(e.src) then begin
+          h.(e.src) <- w + h.(e.dst);
+          changed := true
+        end)
+      (Ddg.edges g);
+    incr pass
+  done;
+  h
+
+(* One scheduling attempt at a fixed II.  Returns the times array and
+   the number of placements used, or None on budget exhaustion. *)
+let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
+  let n = Ddg.num_ops g in
+  let h = heights ~cycle_model g ~ii in
+  let mrt = Mrt.create ~ii resource in
+  let time = Array.make n (-1) in
+  let prev_time = Array.make n (-1) in
+  let scheduled = Array.make n false in
+  let num_scheduled = ref 0 in
+  let placements = ref 0 in
+  let cls i = Opcode.resource_class (Ddg.op g i).Operation.opcode in
+  let occ i = Cycle_model.occupancy cycle_model (Ddg.op g i).Operation.opcode in
+  (* Static priority order.  IMS: critical recurrences first, then
+     greater height, then lower id for determinism.  SMS: the
+     lifetime-sensitive swing order.  A cursor walks the order;
+     evictions rewind it, so pick() is O(1) amortized instead of a
+     linear scan per placement. *)
+  let order =
+    match ordering with
+    | `Sms -> Sms_order.compute ~cycle_model g ~ii
+    | `Ims ->
+        let order = Array.init n (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match compare critical.(b) critical.(a) with
+            | 0 -> ( match compare h.(b) h.(a) with 0 -> compare a b | c -> c)
+            | c -> c)
+          order;
+        order
+  in
+  let position = Array.make n 0 in
+  Array.iteri (fun pos i -> position.(i) <- pos) order;
+  let cursor = ref 0 in
+  let unschedule q =
+    Mrt.remove mrt (cls q) ~time:time.(q) ~occupancy:(occ q);
+    scheduled.(q) <- false;
+    decr num_scheduled;
+    if position.(q) < !cursor then cursor := position.(q)
+  in
+  let pick () =
+    while !cursor < n && scheduled.(order.(!cursor)) do
+      incr cursor
+    done;
+    order.(!cursor)
+  in
+  let estart op =
+    List.fold_left
+      (fun acc (e : Dependence.t) ->
+        if e.src <> op && scheduled.(e.src) then
+          Stdlib.max acc (time.(e.src) + delay ~cycle_model g e - (ii * e.distance))
+        else acc)
+      0 (Ddg.preds g op)
+  in
+  let lend op =
+    List.fold_left
+      (fun acc (e : Dependence.t) ->
+        if e.dst <> op && scheduled.(e.dst) then
+          let bound = time.(e.dst) - delay ~cycle_model g e + (ii * e.distance) in
+          match acc with None -> Some bound | Some b -> Some (Stdlib.min b bound)
+        else acc)
+      None (Ddg.succs g op)
+  in
+  let try_place op t =
+    if t < 0 then false
+    else if Mrt.can_place mrt (cls op) ~time:t ~occupancy:(occ op) then begin
+      Mrt.place mrt (cls op) ~time:t ~occupancy:(occ op);
+      time.(op) <- t;
+      prev_time.(op) <- t;
+      scheduled.(op) <- true;
+      incr num_scheduled;
+      true
+    end
+    else false
+  in
+  (* After placing [op] at [t], unschedule any scheduled successor the
+     placement pushed out of legality (Rau's eviction rule). *)
+  let evict_violated_succs op t =
+    List.iter
+      (fun (e : Dependence.t) ->
+        if e.dst <> op && scheduled.(e.dst) then
+          if time.(e.dst) < t + delay ~cycle_model g e - (ii * e.distance) then
+            unschedule e.dst)
+      (Ddg.succs g op)
+  in
+  let force op t =
+    (* Evict same-class operations until the slot frees up, then any
+       scheduled successor whose constraint the new placement breaks. *)
+    let t = Stdlib.max t 0 in
+    let evictable = ref [] in
+    for q = 0 to n - 1 do
+      if q <> op && scheduled.(q) && cls q = cls op then evictable := q :: !evictable
+    done;
+    (* Evict lower-priority victims first. *)
+    let victims =
+      List.sort (fun a b -> compare (critical.(a), h.(a)) (critical.(b), h.(b))) !evictable
+    in
+    let rec evict = function
+      | [] -> ()
+      | q :: rest ->
+          if not (Mrt.can_place mrt (cls op) ~time:t ~occupancy:(occ op)) then begin
+            unschedule q;
+            evict rest
+          end
+      in
+    evict victims;
+    if not (try_place op t) then
+      (* Should be impossible: with every same-class op evicted the
+         table is empty for this class. *)
+      failwith "Modulo.force: could not place after full eviction";
+    evict_violated_succs op t
+  in
+  let debug = Sys.getenv_opt "WR_SCHED_DEBUG" <> None in
+  let per_op = if debug then Array.make n 0 else [||] in
+  let ok = ref true in
+  while !ok && !num_scheduled < n do
+    if !placements >= budget then begin
+      if debug then begin
+        Printf.eprintf "[sched] II=%d budget out: %d/%d scheduled after %d placements\n%!" ii
+          !num_scheduled n !placements;
+        let hot = Array.mapi (fun i c -> (c, i)) per_op in
+        Array.sort (fun a b -> compare b a) hot;
+        Array.iteri
+          (fun k (c, i) ->
+            if k < 6 && c > 0 then
+              Printf.eprintf "  hot op%d: %d placements, %s, time=%d h=%d crit=%b\n%!" i c
+                (Operation.to_string (Ddg.op g i))
+                time.(i) h.(i) critical.(i))
+          hot
+      end;
+      ok := false
+    end
+    else begin
+      incr placements;
+      let op = pick () in
+      if debug then per_op.(op) <- per_op.(op) + 1;
+      let lo = estart op in
+      let has_sched_pred =
+        List.exists (fun (e : Dependence.t) -> e.src <> op && scheduled.(e.src)) (Ddg.preds g op)
+      in
+      (* Preferred window respects scheduled successors (keeps
+         lifetimes short, HRMS-style); if it has no free slot, fall
+         back to Rau's full [Estart, Estart+II-1] resource scan and
+         evict the successors the placement invalidates — without this
+         fallback, an op whose consumers sit early can only creep
+         forward one slot per visit and the budget drains without
+         progress.  Forcing is the last resort. *)
+      let fallback () =
+        let hi = lo + ii - 1 in
+        let rec up t = if t > hi then None else if try_place op t then Some t else up (t + 1) in
+        match up lo with
+        | Some t -> evict_violated_succs op t
+        | None ->
+            force op (if prev_time.(op) >= 0 then Stdlib.max lo (prev_time.(op) + 1) else lo)
+      in
+      (match lend op with
+      | Some hi when not has_sched_pred ->
+          (* Only consumers are placed: sit as close below them as
+             possible (ALAP) to shorten the produced lifetime. *)
+          let lo' = Stdlib.max lo (hi - ii + 1) in
+          let rec down t = if t < lo' then None else if try_place op t then Some () else down (t - 1) in
+          (match down hi with Some () -> () | None -> fallback ())
+      | maybe_hi ->
+          let hi =
+            match maybe_hi with
+            | Some h_bound -> Stdlib.min h_bound (lo + ii - 1)
+            | None -> lo + ii - 1
+          in
+          let rec up t = if t > hi then None else if try_place op t then Some () else up (t + 1) in
+          (match up lo with Some () -> () | None -> fallback ()))
+    end
+  done;
+  if !ok then Some (time, !placements) else None
+
+let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(ordering = `Ims) g =
+  let n = Ddg.num_ops g in
+  let res_mii = Mii.res_mii resource ~cycle_model g in
+  let rec_mii = Mii.rec_mii ~cycle_model g in
+  let mii = Stdlib.max res_mii rec_mii in
+  if min_ii < 1 then invalid_arg "Modulo.run: min_ii must be positive";
+  if n = 0 then
+    { schedule = empty_schedule ~cycle_model; mii = 1; res_mii; rec_mii; placements = 0 }
+  else begin
+    let default_max =
+      let bus, fpu = Resource.total_slot_demand resource ~cycle_model g in
+      let total_delay =
+        List.fold_left (fun acc e -> acc + delay ~cycle_model g e) 0 (Ddg.edges g)
+      in
+      bus + fpu + total_delay + Stdlib.max mii min_ii + 1
+    in
+    let max_ii = match max_ii with Some m -> m | None -> default_max in
+    let critical = Mii.critical_recurrence_ops ~cycle_model g ~ii:rec_mii in
+    let budget = Stdlib.max 32 (budget_ratio * n) in
+    let total_placements = ref 0 in
+    let rec loop ii =
+      if ii > max_ii then
+        failwith
+          (Printf.sprintf "Modulo.run: no schedule found up to II=%d (%d ops)" max_ii n)
+      else
+        (* The swing order has no backtracking discipline of its own;
+           if it cannot close a schedule near the MII, fall back to the
+           eviction-hardened IMS priority for the larger IIs. *)
+        let ordering = if ordering = `Sms && ii > mii + 4 then `Ims else ordering in
+        match attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering with
+        | Some (times, p) ->
+            total_placements := !total_placements + p;
+            let schedule = Schedule.make ~ii ~times ~cycle_model in
+            (match Schedule.validate g resource schedule with
+            | Ok () -> schedule
+            | Error msg -> failwith ("Modulo.run: invalid schedule produced: " ^ msg))
+        | None ->
+            total_placements := !total_placements + budget;
+            loop (ii + 1)
+    in
+    let schedule = loop (Stdlib.max mii min_ii) in
+    { schedule; mii; res_mii; rec_mii; placements = !total_placements }
+  end

@@ -1,0 +1,79 @@
+module Resource = Wr_machine.Resource
+module Opcode = Wr_ir.Opcode
+
+type t = { ii : int; bus : int array; fpu : int array; resource : Resource.t }
+
+let create ~ii resource =
+  if ii <= 0 then invalid_arg "Mrt.create: ii must be positive";
+  { ii; bus = Array.make ii 0; fpu = Array.make ii 0; resource }
+
+let ii t = t.ii
+
+let row t = function Opcode.Bus -> t.bus | Opcode.Fpu -> t.fpu
+
+let norm t time = ((time mod t.ii) + t.ii) mod t.ii
+
+(* A reservation of [occupancy] cycles starting at [time] covers every
+   kernel slot [occupancy / II] times, plus once more for the
+   [occupancy mod II] slots starting at [time mod II].  (An occupancy
+   larger than II arises for unpipelined divides/square roots at small
+   II: in steady state several units serve interleaved iterations, and
+   the per-slot count below charges them all.) *)
+let demand t ~time ~occupancy slot =
+  let full = occupancy / t.ii and rem = occupancy mod t.ii in
+  let start = norm t time in
+  let in_window =
+    if rem = 0 then false
+    else
+      let offset = (slot - start + t.ii) mod t.ii in
+      offset < rem
+  in
+  full + if in_window then 1 else 0
+
+let can_place t cls ~time ~occupancy =
+  let slots = Resource.slots t.resource cls in
+  let r = row t cls in
+  let full = occupancy / t.ii and rem = occupancy mod t.ii in
+  if full = 0 then begin
+    (* Common case (pipelined ops, short occupancies): only the
+       [occupancy] slots of the window are touched — O(occupancy). *)
+    let start = norm t time in
+    let ok = ref true in
+    for k = 0 to rem - 1 do
+      if r.((start + k) mod t.ii) + 1 > slots then ok := false
+    done;
+    !ok
+  end
+  else begin
+    (* occupancy >= II implies II <= occupancy (bounded by the largest
+       latency), so the full scan stays cheap. *)
+    let ok = ref true in
+    for s = 0 to t.ii - 1 do
+      if r.(s) + demand t ~time ~occupancy s > slots then ok := false
+    done;
+    !ok
+  end
+
+let place t cls ~time ~occupancy =
+  let slots = Resource.slots t.resource cls in
+  let r = row t cls in
+  for s = 0 to t.ii - 1 do
+    let d = demand t ~time ~occupancy s in
+    if r.(s) + d > slots then begin
+      for s' = 0 to s - 1 do
+        r.(s') <- r.(s') - demand t ~time ~occupancy s'
+      done;
+      invalid_arg "Mrt.place: slot over-subscribed"
+    end;
+    r.(s) <- r.(s) + d
+  done
+
+let remove t cls ~time ~occupancy =
+  let r = row t cls in
+  for s = 0 to t.ii - 1 do
+    let d = demand t ~time ~occupancy s in
+    if r.(s) < d then invalid_arg "Mrt.remove: empty slot";
+    r.(s) <- r.(s) - d
+  done
+
+let usage t cls ~slot = (row t cls).(norm t slot)

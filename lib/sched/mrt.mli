@@ -1,0 +1,27 @@
+(** Modulo reservation table.
+
+    Tracks, for each of the II slots of the steady-state kernel, how
+    many issue slots of each resource class are in use.  A non-pipelined
+    operation (division, square root) reserves its unit for its full
+    occupancy, wrapping modulo II. *)
+
+type t
+
+val create : ii:int -> Wr_machine.Resource.t -> t
+
+val ii : t -> int
+
+val can_place : t -> Wr_ir.Opcode.resource_class -> time:int -> occupancy:int -> bool
+(** Whether one more operation of the class fits starting at
+    [time mod II] for [occupancy] consecutive (modulo) cycles. *)
+
+val place : t -> Wr_ir.Opcode.resource_class -> time:int -> occupancy:int -> unit
+(** Reserve the slots.  Raises [Invalid_argument] if the reservation
+    would exceed capacity (callers must check {!can_place}, except when
+    forcing an eviction through {!conflicts}). *)
+
+val remove : t -> Wr_ir.Opcode.resource_class -> time:int -> occupancy:int -> unit
+(** Release a previous reservation. *)
+
+val usage : t -> Wr_ir.Opcode.resource_class -> slot:int -> int
+(** Current occupancy of a kernel slot. *)

@@ -1,0 +1,117 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+
+type t = { ii : int; times : int array; cycle_model : Cycle_model.t }
+
+let make ~ii ~times ~cycle_model =
+  if ii <= 0 then invalid_arg "Schedule.make: ii must be positive";
+  Array.iter (fun t -> if t < 0 then invalid_arg "Schedule.make: negative time") times;
+  { ii; times; cycle_model }
+
+let stage_count t =
+  if Array.length t.times = 0 then 0
+  else 1 + (Array.fold_left Stdlib.max 0 t.times / t.ii)
+
+let kernel_slot t i = t.times.(i) mod t.ii
+
+let stage t i = t.times.(i) / t.ii
+
+let span t =
+  if Array.length t.times = 0 then 0
+  else
+    let mx = Array.fold_left Stdlib.max t.times.(0) t.times in
+    let mn = Array.fold_left Stdlib.min t.times.(0) t.times in
+    mx - mn + 1
+
+let validate g resource t =
+  let n = Ddg.num_ops g in
+  if Array.length t.times <> n then Error "schedule length mismatch"
+  else begin
+    let dep_error = ref None in
+    List.iter
+      (fun (e : Dependence.t) ->
+        let src = Ddg.op g e.src in
+        let d =
+          Dependence.delay_rule e.kind
+            ~producer_latency:(Cycle_model.latency_of_op t.cycle_model src.Operation.opcode)
+        in
+        if t.times.(e.dst) < t.times.(e.src) + d - (t.ii * e.distance) then
+          match !dep_error with
+          | None ->
+              dep_error :=
+                Some
+                  (Printf.sprintf "dependence violated: op%d@%d -> op%d@%d (delay %d, dist %d, ii %d)"
+                     e.src t.times.(e.src) e.dst t.times.(e.dst) d e.distance t.ii)
+          | Some _ -> ())
+      (Ddg.edges g);
+    match !dep_error with
+    | Some msg -> Error msg
+    | None ->
+        (* Rebuild the reservation table and look for over-subscription. *)
+        let mrt = Mrt.create ~ii:t.ii resource in
+        let res_error = ref None in
+        Array.iter
+          (fun (o : Operation.t) ->
+            let cls = Opcode.resource_class o.Operation.opcode in
+            let occupancy = Cycle_model.occupancy t.cycle_model o.Operation.opcode in
+            match Mrt.place mrt cls ~time:t.times.(o.Operation.id) ~occupancy with
+            | () -> ()
+            | exception Invalid_argument _ -> (
+                match !res_error with
+                | None ->
+                    res_error :=
+                      Some
+                        (Printf.sprintf "resource over-subscribed placing op%d at %d"
+                           o.Operation.id
+                           t.times.(o.Operation.id))
+                | Some _ -> ()))
+          (Ddg.ops g);
+        (match !res_error with Some msg -> Error msg | None -> Ok ())
+  end
+
+let cycles t ~trip_count = t.ii * trip_count
+
+let kernel_view g resource t =
+  let buf = Buffer.create 1024 in
+  let bus_cap = Resource.slots resource Opcode.Bus in
+  let fpu_cap = Resource.slots resource Opcode.Fpu in
+  Buffer.add_string buf
+    (Printf.sprintf "kernel: II=%d, %d stages, %d/%d bus/FPU slots per cycle\n" t.ii
+       (stage_count t) bus_cap fpu_cap);
+  for slot = 0 to t.ii - 1 do
+    let here =
+      List.filter
+        (fun (o : Operation.t) -> t.times.(o.Operation.id) mod t.ii = slot)
+        (Array.to_list (Ddg.ops g))
+    in
+    let count cls =
+      List.length
+        (List.filter
+           (fun (o : Operation.t) -> Opcode.resource_class o.Operation.opcode = cls)
+           here)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  slot %2d [bus %d/%d, fpu %d/%d]: %s\n" slot (count Opcode.Bus)
+         bus_cap (count Opcode.Fpu) fpu_cap
+         (String.concat "; "
+            (List.map
+               (fun (o : Operation.t) ->
+                 Printf.sprintf "op%d:%s(s%d)" o.Operation.id
+                   (Opcode.to_string o.Operation.opcode)
+                   (t.times.(o.Operation.id) / t.ii))
+               here)))
+  done;
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule: II=%d, stages=%d@," t.ii (stage_count t);
+  Array.iteri
+    (fun i time ->
+      Format.fprintf fmt "  op%d @ %d (slot %d, stage %d)@," i time (time mod t.ii)
+        (time / t.ii))
+    t.times;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,184 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+
+type outcome = Feasible of Schedule.t | Infeasible | Gave_up
+
+exception Out_of_budget
+
+let delay ~cycle_model g (e : Dependence.t) =
+  let src = Ddg.op g e.src in
+  Dependence.delay_rule e.kind
+    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
+
+let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) g =
+  let n = Ddg.num_ops g in
+  if n = 0 then Feasible (Schedule.make ~ii ~times:[||] ~cycle_model)
+  else begin
+    (* Assignment order: critical recurrences, then height — the same
+       priority the heuristic uses, which keeps windows tight early. *)
+    let critical = Mii.critical_recurrence_ops ~cycle_model g ~ii:(Mii.rec_mii ~cycle_model g) in
+    let h = Array.make n 0 in
+    let changed = ref true and pass = ref 0 in
+    while !changed && !pass <= n do
+      changed := false;
+      List.iter
+        (fun (e : Dependence.t) ->
+          let w = delay ~cycle_model g e - (ii * e.distance) in
+          if w + h.(e.dst) > h.(e.src) then begin
+            h.(e.src) <- w + h.(e.dst);
+            changed := true
+          end)
+        (Ddg.edges g);
+      incr pass
+    done;
+    let priority = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match compare critical.(b) critical.(a) with
+        | 0 -> ( match compare h.(b) h.(a) with 0 -> compare a b | c -> c)
+        | c -> c)
+      priority;
+    (* Assignment order: traverse each weakly-connected component
+       contiguously (BFS over undirected adjacency from the
+       highest-priority seed), so every operation after a component's
+       anchor has an assigned neighbour and therefore a finite
+       dependence window. *)
+    let order = Array.make n 0 in
+    let visited = Array.make n false in
+    let pos = ref 0 in
+    let neighbours v =
+      List.map (fun (e : Dependence.t) -> e.dst) (Ddg.succs g v)
+      @ List.map (fun (e : Dependence.t) -> e.src) (Ddg.preds g v)
+    in
+    Array.iter
+      (fun seed ->
+        if not visited.(seed) then begin
+          let queue = Queue.create () in
+          Queue.add seed queue;
+          visited.(seed) <- true;
+          while not (Queue.is_empty queue) do
+            let v = Queue.pop queue in
+            order.(!pos) <- v;
+            incr pos;
+            List.iter
+              (fun w ->
+                if not visited.(w) then begin
+                  visited.(w) <- true;
+                  Queue.add w queue
+                end)
+              (neighbours v)
+          done
+        end)
+      priority;
+    let time = Array.make n (-1) in
+    let assigned = Array.make n false in
+    let mrt = Mrt.create ~ii resource in
+    let nodes = ref 0 in
+    let cls i = Opcode.resource_class (Ddg.op g i).Operation.opcode in
+    let occ i = Cycle_model.occupancy cycle_model (Ddg.op g i).Operation.opcode in
+    (* All-pairs longest dependence paths at this II (max-plus
+       Floyd-Warshall over weights [delay - II*distance]; no positive
+       cycles at II >= RecMII).  Windows below use the TRANSITIVE
+       bounds — an operation's window accounts for chains through
+       still-unassigned intermediates, which direct-neighbour bounds
+       miss. *)
+    let neg_inf = min_int / 4 in
+    let path = Array.make_matrix n n neg_inf in
+    for v = 0 to n - 1 do
+      path.(v).(v) <- 0
+    done;
+    List.iter
+      (fun (e : Dependence.t) ->
+        let w = delay ~cycle_model g e - (ii * e.distance) in
+        if w > path.(e.src).(e.dst) then path.(e.src).(e.dst) <- w)
+      (Ddg.edges g);
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if path.(i).(k) > neg_inf then
+          for j = 0 to n - 1 do
+            if path.(k).(j) > neg_inf && path.(i).(k) + path.(k).(j) > path.(i).(j) then
+              path.(i).(j) <- path.(i).(k) + path.(k).(j)
+          done
+      done
+    done;
+    (* Window of [op] given the assigned set: times may go negative (a
+       producer assigned after its consumer sits below it); the final
+       schedule is shifted to non-negative.  An op with no dependence
+       relation to any assigned op anchors a fresh region at
+       [0, II-1]. *)
+    let window op =
+      let lo = ref None and hi = ref None in
+      for v = 0 to n - 1 do
+        if assigned.(v) then begin
+          if path.(v).(op) > neg_inf then
+            lo :=
+              Some
+                (Stdlib.max (Option.value ~default:min_int !lo) (time.(v) + path.(v).(op)));
+          if path.(op).(v) > neg_inf then
+            hi :=
+              Some
+                (Stdlib.min (Option.value ~default:max_int !hi) (time.(v) - path.(op).(v)))
+        end
+      done;
+      match (!lo, !hi) with
+      | None, None -> (0, ii - 1)
+      | Some lo, None -> (lo, lo + ii - 1)
+      | None, Some hi -> (hi - ii + 1, hi)
+      | Some lo, Some hi -> (lo, Stdlib.min hi (lo + ii - 1))
+    in
+    let rec assign k =
+      if k = n then true
+      else begin
+        let op = order.(k) in
+        let lo, hi = window op in
+        let rec try_time t =
+          if t > hi then false
+          else begin
+            incr nodes;
+            if !nodes > max_nodes then raise Out_of_budget;
+            if Mrt.can_place mrt (cls op) ~time:t ~occupancy:(occ op) then begin
+              Mrt.place mrt (cls op) ~time:t ~occupancy:(occ op);
+              time.(op) <- t;
+              assigned.(op) <- true;
+              if assign (k + 1) then true
+              else begin
+                Mrt.remove mrt (cls op) ~time:t ~occupancy:(occ op);
+                assigned.(op) <- false;
+                try_time (t + 1)
+              end
+            end
+            else try_time (t + 1)
+          end
+        in
+        try_time lo
+      end
+    in
+    match assign 0 with
+    | exception Out_of_budget -> Gave_up
+    | false -> Infeasible
+    | true -> (
+        (* Normalize to non-negative times: a uniform shift preserves
+           dependences and rotates the reservation table consistently. *)
+        let lowest = Array.fold_left Stdlib.min time.(0) time in
+        let shift = if lowest < 0 then -lowest else 0 in
+        let time = Array.map (fun t -> t + shift) time in
+        let schedule = Schedule.make ~ii ~times:time ~cycle_model in
+        match Schedule.validate g resource schedule with
+        | Ok () -> Feasible schedule
+        | Error msg -> failwith ("Search.at_ii: produced an invalid schedule: " ^ msg))
+  end
+
+let min_ii resource ~cycle_model ?max_nodes g =
+  let mii = Mii.mii resource ~cycle_model g in
+  let rec go ii attempts_left =
+    if attempts_left = 0 then None
+    else
+      match at_ii resource ~cycle_model ~ii ?max_nodes g with
+      | Feasible s -> Some (ii, s)
+      | Infeasible | Gave_up -> go (ii + 1) (attempts_left - 1)
+  in
+  go mii 32

@@ -1,0 +1,37 @@
+(** Backtracking modulo scheduler: exhaustive window search with a node
+    budget, used to cross-check the heuristic scheduler's II quality on
+    small loops.
+
+    The search assigns operations in priority order; each operation
+    tries every slot of its current dependence window (clipped to II
+    consecutive slots) that the reservation table admits, and
+    backtracks on dead ends.  [`Feasible] results are definitive (the
+    schedule is validated); [`Infeasible] means no schedule exists
+    {e within the explored windows}; [`Gave_up] means the node budget
+    ran out.  On the small graphs this is meant for (tens of
+    operations) the search is effectively exhaustive. *)
+
+type outcome =
+  | Feasible of Schedule.t
+  | Infeasible
+  | Gave_up
+
+val at_ii :
+  Wr_machine.Resource.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  ii:int ->
+  ?max_nodes:int ->
+  Wr_ir.Ddg.t ->
+  outcome
+(** Search for a schedule at exactly the given II.  [max_nodes]
+    (default 200_000) bounds backtracking nodes. *)
+
+val min_ii :
+  Wr_machine.Resource.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  ?max_nodes:int ->
+  Wr_ir.Ddg.t ->
+  (int * Schedule.t) option
+(** Smallest II (starting at the MII) at which {!at_ii} finds a
+    schedule; [None] if every attempt up to a generous bound gave
+    up. *)

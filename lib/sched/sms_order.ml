@@ -1,0 +1,158 @@
+module Ddg = Wr_ir.Ddg
+module Dependence = Wr_ir.Dependence
+module Operation = Wr_ir.Operation
+module Cycle_model = Wr_machine.Cycle_model
+module Scc = Wr_ir.Scc
+
+let delay ~cycle_model g (e : Dependence.t) =
+  let src = Ddg.op g e.src in
+  Dependence.delay_rule e.kind
+    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
+
+(* ASAP/ALAP at the given II: longest paths over weights
+   [delay - II*dist]; no positive cycles at II >= RecMII, so value
+   iteration converges. *)
+let asap_alap ~cycle_model g ~ii =
+  let n = Ddg.num_ops g in
+  let asap = Array.make n 0 in
+  let changed = ref true and pass = ref 0 in
+  while !changed && !pass <= n do
+    changed := false;
+    List.iter
+      (fun (e : Dependence.t) ->
+        let w = delay ~cycle_model g e - (ii * e.distance) in
+        if asap.(e.src) + w > asap.(e.dst) then begin
+          asap.(e.dst) <- asap.(e.src) + w;
+          changed := true
+        end)
+      (Ddg.edges g);
+    incr pass
+  done;
+  let horizon = Array.fold_left Stdlib.max 0 asap in
+  let alap = Array.make n horizon in
+  let changed = ref true and pass = ref 0 in
+  while !changed && !pass <= n do
+    changed := false;
+    List.iter
+      (fun (e : Dependence.t) ->
+        let w = delay ~cycle_model g e - (ii * e.distance) in
+        if alap.(e.dst) - w < alap.(e.src) then begin
+          alap.(e.src) <- alap.(e.dst) - w;
+          changed := true
+        end)
+      (Ddg.edges g);
+    incr pass
+  done;
+  (asap, alap)
+
+let compute ~cycle_model g ~ii =
+  let n = Ddg.num_ops g in
+  let asap, alap = asap_alap ~cycle_model g ~ii in
+  let mobility = Array.init n (fun v -> alap.(v) - asap.(v)) in
+  (* Groups: SCC components ordered by criticality (component RecMII
+     approximated by the component's span tightness: components with a
+     cycle first, then by ascending total mobility). *)
+  let scc = Ddg.scc g in
+  let comps = Scc.members scc in
+  let has_cycle = Array.make scc.Scc.count false in
+  List.iter
+    (fun (e : Dependence.t) ->
+      if scc.Scc.component.(e.src) = scc.Scc.component.(e.dst) then
+        has_cycle.(scc.Scc.component.(e.src)) <- true)
+    (Ddg.edges g);
+  let group_key c =
+    let members = comps.(c) in
+    let mob = List.fold_left (fun acc v -> acc + mobility.(v)) 0 members in
+    (* Recurrences first (0 sorts before 1), then tighter groups. *)
+    ((if has_cycle.(c) then 0 else 1), mob, c)
+  in
+  let group_order =
+    List.sort
+      (fun a b -> compare (group_key a) (group_key b))
+      (List.init scc.Scc.count (fun c -> c))
+  in
+  let ordered = Array.make n false in
+  let order = ref [] in
+  let append v =
+    if not ordered.(v) then begin
+      ordered.(v) <- true;
+      order := v :: !order
+    end
+  in
+  (* Unordered predecessors/successors of the ordered set, restricted
+     to a node subset. *)
+  let frontier ~preds subset =
+    List.filter
+      (fun v ->
+        (not ordered.(v))
+        && List.exists
+             (fun (e : Dependence.t) ->
+               let nbr = if preds then e.dst else e.src in
+               nbr <> v && ordered.(nbr))
+             (if preds then Ddg.succs g v else Ddg.preds g v))
+      subset
+  in
+  let pick_top_down candidates =
+    (* Lowest ALAP first (most urgent w.r.t. consumers); ties: higher
+       mobility last (prefer constrained nodes). *)
+    List.fold_left
+      (fun best v ->
+        match best with
+        | None -> Some v
+        | Some b -> if (alap.(v), mobility.(v), v) < (alap.(b), mobility.(b), b) then Some v else best)
+      None candidates
+  in
+  let pick_bottom_up candidates =
+    (* Highest ASAP first (closest below its producers). *)
+    List.fold_left
+      (fun best v ->
+        match best with
+        | None -> Some v
+        | Some b ->
+            if (-asap.(v), mobility.(v), v) < (-asap.(b), mobility.(b), b) then Some v else best)
+      None candidates
+  in
+  List.iter
+    (fun c ->
+      let subset = List.filter (fun v -> not ordered.(v)) comps.(c) in
+      match subset with
+      | [] -> ()
+      | _ ->
+          (* Seed: if the group touches the ordered set, start from the
+             touching side; otherwise from the group's most urgent
+             node. *)
+          let rec swing remaining =
+            if remaining <> [] then begin
+              let pred_side = frontier ~preds:true remaining in
+              let succ_side = frontier ~preds:false remaining in
+              let direction, candidates =
+                if succ_side <> [] then (`Top_down, succ_side)
+                else if pred_side <> [] then (`Bottom_up, pred_side)
+                else (`Top_down, remaining)
+              in
+              (* Consume one side fully before swinging. *)
+              let rec sweep candidates remaining =
+                match
+                  ( candidates,
+                    match direction with
+                    | `Top_down -> pick_top_down candidates
+                    | `Bottom_up -> pick_bottom_up candidates )
+                with
+                | [], _ | _, None -> remaining
+                | _, Some v ->
+                    append v;
+                    let remaining = List.filter (fun w -> w <> v) remaining in
+                    let next =
+                      match direction with
+                      | `Top_down -> frontier ~preds:false remaining
+                      | `Bottom_up -> frontier ~preds:true remaining
+                    in
+                    sweep next remaining
+              in
+              let remaining = sweep candidates remaining in
+              swing remaining
+            end
+          in
+          swing subset)
+    group_order;
+  Array.of_list (List.rev !order)

@@ -1,0 +1,24 @@
+(** Swing Modulo Scheduling node ordering (Llosa, González, Ayguadé &
+    Valero, PACT'96) — the lifetime-sensitive ordering by the paper's
+    own authors.
+
+    The ordering guarantees that every node (except the first of each
+    connected region) is placed adjacent to an already-ordered
+    neighbour, and alternates sweep direction ("swings") so producers
+    and consumers end up close in the final schedule — short lifetimes,
+    hence low register pressure, without backtracking:
+
+    {ul
+    {- recurrence groups are ordered first, most critical (highest
+       RecMII) first;}
+    {- within a region the next node is taken from the unordered
+       predecessors (bottom-up swing) or successors (top-down swing) of
+       the ordered set: top-down picks the lowest ALAP (ties: higher
+       mobility), bottom-up the highest ASAP (ties: higher mobility);}
+    {- when one side is exhausted the direction swings.}} *)
+
+val compute :
+  cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> ii:int -> int array
+(** The order in which the scheduler should place operations
+    (a permutation of [0 .. n-1]); [ii] is the MII the ASAP/ALAP times
+    are computed at. *)

@@ -1,0 +1,80 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: mix the advanced state through two
+   xor-shift-multiply rounds (variant "mix13" from the reference
+   implementation). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  (* Mixing again decorrelates the child stream from the parent. *)
+  { state = mix64 seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: OCaml ints are 63-bit, so converting a 63-bit value
+     would wrap negative when the top bit is set. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 high bits give a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: weights sum to zero";
+  let x = float t total in
+  let n = Array.length items in
+  let rec pick i acc =
+    if i = n - 1 then fst items.(i)
+    else
+      let acc = acc +. snd items.(i) in
+      if x < acc then fst items.(i) else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = Stdlib.max 1e-300 (float t 1.0) in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))
+
+let exponential t ~mean =
+  let u = Stdlib.max 1e-300 (float t 1.0) in
+  -.mean *. log u

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through this module so that the
+    synthetic workload (and therefore every experiment) is bit-for-bit
+    reproducible across runs and machines.  The generator is SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): a tiny, high-quality, splittable
+    64-bit generator with a one-word state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream.  Used to
+    give every synthetic loop its own sub-stream so that changing how
+    many numbers one loop consumes does not perturb the next loop. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** [choose_weighted t items] picks an element with probability
+    proportional to its weight.  Weights must be non-negative with a
+    positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] is the number of failures before the first success
+    of a Bernoulli([p]) sequence; mean [(1-p)/p].  [p] must be in
+    (0, 1]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)

@@ -1,0 +1,76 @@
+let sum xs =
+  (* Kahan summation: the experiment drivers accumulate millions of
+     per-loop cycle counts, where naive summation loses precision. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    xs;
+  !s
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value") xs;
+    exp (sum (Array.map log xs) /. float_of_int n)
+  end
+
+let harmonic_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.harmonic_mean: non-positive value") xs;
+    float_of_int n /. sum (Array.map (fun x -> 1.0 /. x) xs)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let m = mean xs in
+    sqrt (sum (Array.map (fun x -> (x -. m) ** 2.0) xs) /. float_of_int n)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.median: empty array";
+  let ys = sorted_copy xs in
+  if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  if n = 1 then ys.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+
+let weighted_mean pairs =
+  let wsum = sum (Array.map snd pairs) in
+  if wsum = 0.0 then 0.0
+  else sum (Array.map (fun (v, w) -> v *. w) pairs) /. wsum
+
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty array";
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty array";
+  Array.fold_left Stdlib.max xs.(0) xs

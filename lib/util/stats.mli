@@ -1,0 +1,31 @@
+(** Small statistics helpers used by the experiment drivers. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean; all values must be positive.  0 on the empty
+    array. *)
+
+val harmonic_mean : float array -> float
+(** Harmonic mean; all values must be positive. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** Median (average of the two middle values for even lengths).  Does
+    not mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation.
+    Does not mutate its argument. *)
+
+val weighted_mean : (float * float) array -> float
+(** [weighted_mean pairs] where each pair is [(value, weight)]. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)

@@ -1,0 +1,77 @@
+module Ddg = Wr_ir.Ddg
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Memref = Wr_ir.Memref
+module Schedule = Wr_sched.Schedule
+
+type t = { line_bytes : int; num_sets : int; tags : int array }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ?(line_bytes = 32) ~size_bytes () =
+  if (not (is_pow2 line_bytes)) || not (is_pow2 size_bytes) then
+    invalid_arg "Dcache.make: sizes must be powers of two";
+  if line_bytes > size_bytes then invalid_arg "Dcache.make: line larger than cache";
+  let num_sets = size_bytes / line_bytes in
+  { line_bytes; num_sets; tags = Array.make num_sets (-1) }
+
+type stats = { accesses : int; words : int; misses : int; loads : int }
+
+(* Each array gets its own 128M-word region so distinct arrays never
+   alias; a per-array hash staggers the bases so streams do not start
+   set-aligned (real allocators do not hand out cache-aligned arrays in
+   lockstep).  Word addresses are 8 bytes. *)
+let byte_address ~array_id ~word =
+  let stagger = Hashtbl.hash (array_id, "base") land 0x3FFF in
+  (((array_id * 0x8000000) + stagger) + word) * 8
+
+let touch t ~is_load ~array_id ~word ~lanes stats =
+  let first_line = byte_address ~array_id ~word / t.line_bytes in
+  let last_line = byte_address ~array_id ~word:(word + lanes - 1) / t.line_bytes in
+  let acc = ref stats in
+  for line = first_line to last_line do
+    (* Prehistory reads (negative offsets in early iterations) produce
+       negative addresses; normalize the set index. *)
+    let set = ((line mod t.num_sets) + t.num_sets) mod t.num_sets in
+    let hit = t.tags.(set) = line in
+    (if is_load && not hit then t.tags.(set) <- line);
+    acc :=
+      {
+        accesses = !acc.accesses + 1;
+        words = !acc.words;
+        misses = (!acc.misses + if is_load && not hit then 1 else 0);
+        loads = (!acc.loads + if is_load then 1 else 0);
+      }
+  done;
+  { !acc with words = !acc.words + lanes }
+
+let replay t g (s : Schedule.t) ~iterations =
+  if iterations < 0 then invalid_arg "Dcache.replay: negative iterations";
+  let mem_ops =
+    Array.to_list (Ddg.ops g)
+    |> List.filter_map (fun (o : Operation.t) ->
+           match o.Operation.mem with
+           | Some m ->
+               Some
+                 ( s.Schedule.times.(o.Operation.id),
+                   o.Operation.opcode = Opcode.Load,
+                   m,
+                   o.Operation.lanes )
+           | None -> None)
+  in
+  (* All instances in global issue order. *)
+  let instances =
+    List.concat_map
+      (fun (time, is_load, m, lanes) ->
+        List.init iterations (fun i -> (time + (i * s.Schedule.ii), is_load, m, lanes, i)))
+      mem_ops
+    |> List.sort compare
+  in
+  List.fold_left
+    (fun stats (_, is_load, (m : Memref.t), lanes, i) ->
+      let word = Memref.address_at m ~iteration:i in
+      touch t ~is_load ~array_id:m.Memref.array_id ~word ~lanes stats)
+    { accesses = 0; words = 0; misses = 0; loads = 0 }
+    instances
+
+let miss_rate st = if st.loads = 0 then 0.0 else float_of_int st.misses /. float_of_int st.loads

@@ -1,0 +1,41 @@
+(** Data-cache model and schedule-order trace analysis.
+
+    The paper assumes perfect memory; its companion work (López et al.,
+    ICS-97, wide buses) studies the memory side.  This module supplies
+    a direct-mapped, write-through/no-allocate data cache — a typical
+    late-90s L1 — and replays the {e memory access trace a modulo
+    schedule actually produces} (operations in issue order, iterations
+    interleaved by the software pipeline) to measure miss rates.
+
+    The trace matters: a software-pipelined loop interleaves accesses
+    of several iterations, and spill code adds iteration-indexed slot
+    arrays that compete for cache sets with the program's own streams —
+    the pollution cost of Figure 3's spill traffic. *)
+
+type t
+
+val make : ?line_bytes:int -> size_bytes:int -> unit -> t
+(** Direct-mapped; default 32-byte lines.  Raises [Invalid_argument]
+    on non-positive or non-power-of-two geometry. *)
+
+type stats = {
+  accesses : int;  (** transactions (a wide access is one transaction) *)
+  words : int;  (** scalar words moved *)
+  misses : int;  (** load transactions that missed (stores write through) *)
+  loads : int;
+}
+
+val replay :
+  t ->
+  Wr_ir.Ddg.t ->
+  Wr_sched.Schedule.t ->
+  iterations:int ->
+  stats
+(** Replays the loop's memory accesses in schedule order for the given
+    number of iterations.  A [lanes]-wide access touches its
+    consecutive words and counts one transaction per cache line
+    spanned.  The cache starts cold and is not reset between
+    iterations. *)
+
+val miss_rate : stats -> float
+(** Load misses per load transaction; 0 when there are no loads. *)

@@ -1,0 +1,213 @@
+module Ddg = Wr_ir.Ddg
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Memref = Wr_ir.Memref
+module Dependence = Wr_ir.Dependence
+module Loop = Wr_ir.Loop
+
+type memory_image = ((int * int) * float) list
+
+type result = { memory : memory_image; loads : int; stores : int; flops : int }
+
+let prehistory = 1.5
+
+(* Deterministic initial contents of memory word (array, addr >= 0):
+   a value in [1, 2) that differs across words, so lane or address
+   mix-ups change the result. *)
+let initial_memory_value array_id addr =
+  let h = Hashtbl.hash (array_id, addr, "mem") land 0xFFFFF in
+  1.0 +. (float_of_int h /. 1048576.0)
+
+let live_in_value position =
+  let h = Hashtbl.hash (position, "livein") land 0xFFFFF in
+  1.0 +. (float_of_int h /. 1048576.0)
+
+(* Evaluation order within an iteration: topological on the
+   distance-0 edges (which include the same-iteration memory ordering
+   edges), ties by operation id.  Reloads inserted by spilling have
+   high ids but must run before their consumers, so plain id order is
+   not enough. *)
+let intra_iteration_order g =
+  let n = Ddg.num_ops g in
+  let indegree = Array.make n 0 in
+  let succs0 = Array.make n [] in
+  List.iter
+    (fun (e : Dependence.t) ->
+      if e.distance = 0 then begin
+        indegree.(e.dst) <- indegree.(e.dst) + 1;
+        succs0.(e.src) <- e.dst :: succs0.(e.src)
+      end)
+    (Ddg.edges g);
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  for v = 0 to n - 1 do
+    if indegree.(v) = 0 then ready := IS.add v !ready
+  done;
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    match IS.min_elt_opt !ready with
+    | None -> invalid_arg "Interp: distance-0 cycle (invalid graph)"
+    | Some v ->
+        ready := IS.remove v !ready;
+        order.(k) <- v;
+        List.iter
+          (fun w ->
+            indegree.(w) <- indegree.(w) - 1;
+            if indegree.(w) = 0 then ready := IS.add w !ready)
+          succs0.(v)
+  done;
+  order
+
+let unary_fn = function
+  | Opcode.Fneg -> fun x -> -.x
+  | Opcode.Fabs -> Float.abs
+  | Opcode.Fsqrt -> fun x -> sqrt (Float.abs x)  (* total: synthetic data may go negative *)
+  | Opcode.Fcopy -> fun x -> x
+  | _ -> invalid_arg "Interp: not a unary opcode"
+
+let binary_fn = function
+  | Opcode.Fadd -> ( +. )
+  | Opcode.Fsub -> ( -. )
+  | Opcode.Fmul -> ( *. )
+  | Opcode.Fdiv -> ( /. )
+  | _ -> invalid_arg "Interp: not a binary opcode"
+
+let run ?iterations (loop : Loop.t) =
+  let g = loop.Loop.ddg in
+  let n = Ddg.num_ops g in
+  let iterations = match iterations with Some i -> i | None -> loop.Loop.trip_count in
+  if iterations < 0 then invalid_arg "Interp.run: negative iteration count";
+  let order = intra_iteration_order g in
+  let operands = Array.init n (fun v -> Array.of_list (Ddg.operands g v)) in
+  (* Live-in values, keyed in first-use order (scanning operations in
+     id order matches how the transforms renumber live-ins). *)
+  let live_ins = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      List.iter
+        (fun r ->
+          if Ddg.def_site g r = None && not (Hashtbl.mem live_ins r) then
+            Hashtbl.add live_ins r (live_in_value (Hashtbl.length live_ins)))
+        o.Operation.uses)
+    (Ddg.ops g);
+  (* Value store: values.(op) is a circular buffer over iterations
+     (depth = max carried distance + 1), one float array (lanes) per
+     slot; [None] marks prehistory. *)
+  let max_distance =
+    List.fold_left (fun acc (e : Dependence.t) -> Stdlib.max acc e.distance) 0 (Ddg.edges g)
+  in
+  let depth = max_distance + 1 in
+  let values = Array.init n (fun _ -> Array.make depth None) in
+  let memory : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let loads = ref 0 and stores = ref 0 and flops = ref 0 in
+  let read_memory array_id addr =
+    incr loads;
+    match Hashtbl.find_opt memory (array_id, addr) with
+    | Some v -> v
+    | None -> if addr < 0 then prehistory else initial_memory_value array_id addr
+  in
+  let write_memory array_id addr v =
+    incr stores;
+    Hashtbl.replace memory (array_id, addr) v
+  in
+  (* Value of the operand [x] of an op with [lanes] lanes at iteration
+     [iter]. *)
+  let operand_value ~lanes iter (x : Ddg.operand) =
+    let producer_vector =
+      match x.Ddg.producer with
+      | None -> [| Hashtbl.find live_ins x.Ddg.reg |]
+      | Some p ->
+          let src_iter = iter - x.Ddg.distance in
+          if src_iter < 0 then
+            [| prehistory |]  (* any lane of the prehistory is the constant *)
+          else begin
+            match values.(p).(src_iter mod depth) with
+            | Some v -> v
+            | None -> invalid_arg "Interp: read of value not yet computed (invalid order)"
+          end
+    in
+    match x.Ddg.lane with
+    | Some k ->
+        if Array.length producer_vector = 1 then [| producer_vector.(0) |]
+        else if k < Array.length producer_vector then [| producer_vector.(k) |]
+        else invalid_arg "Interp: lane out of range"
+    | None ->
+        if Array.length producer_vector = lanes then producer_vector
+        else if Array.length producer_vector = 1 then Array.make lanes producer_vector.(0)
+        else invalid_arg "Interp: operand width mismatch"
+  in
+  for iter = 0 to iterations - 1 do
+    Array.iter
+      (fun v ->
+        let o = Ddg.op g v in
+        let lanes = o.Operation.lanes in
+        let result =
+          match o.Operation.opcode with
+          | Opcode.Load ->
+              let m = Option.get o.Operation.mem in
+              let base = Memref.address_at m ~iteration:iter in
+              Some (Array.init lanes (fun k -> read_memory m.Memref.array_id (base + k)))
+          | Opcode.Store ->
+              let m = Option.get o.Operation.mem in
+              let base = Memref.address_at m ~iteration:iter in
+              let data = operand_value ~lanes iter operands.(v).(0) in
+              Array.iteri (fun k x -> write_memory m.Memref.array_id (base + k) x) data;
+              None
+          | (Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv) as opc ->
+              let f = binary_fn opc in
+              let a = operand_value ~lanes iter operands.(v).(0) in
+              let b = operand_value ~lanes iter operands.(v).(1) in
+              flops := !flops + lanes;
+              Some (Array.init lanes (fun k -> f a.(k) b.(k)))
+          | (Opcode.Fneg | Opcode.Fabs | Opcode.Fsqrt | Opcode.Fcopy) as opc ->
+              let f = unary_fn opc in
+              let a = operand_value ~lanes iter operands.(v).(0) in
+              flops := !flops + lanes;
+              Some (Array.map f a)
+        in
+        match result with
+        | Some vec -> values.(v).(iter mod depth) <- Some vec
+        | None -> ())
+      order
+  done;
+  let memory =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) memory [])
+  in
+  { memory; loads = !loads; stores = !stores; flops = !flops }
+
+let arrays_of (loop : Loop.t) =
+  let ids = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      match o.Operation.mem with
+      | Some m -> Hashtbl.replace ids m.Memref.array_id ()
+      | None -> ())
+    (Ddg.ops loop.Loop.ddg);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) ids [])
+
+let restrict result ~arrays =
+  { result with memory = List.filter (fun ((a, _), _) -> List.mem a arrays) result.memory }
+
+let float_bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let equal_memory a b =
+  List.length a.memory = List.length b.memory
+  && List.for_all2
+       (fun (ka, va) (kb, vb) -> ka = kb && float_bits_equal va vb)
+       a.memory b.memory
+
+let diff_memory a b =
+  let ta = Hashtbl.create 64 and tb = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace ta k v) a.memory;
+  List.iter (fun (k, v) -> Hashtbl.replace tb k v) b.memory;
+  let keys = Hashtbl.create 64 in
+  List.iter (fun (k, _) -> Hashtbl.replace keys k ()) a.memory;
+  List.iter (fun (k, _) -> Hashtbl.replace keys k ()) b.memory;
+  Hashtbl.fold
+    (fun k () acc ->
+      let va = Hashtbl.find_opt ta k and vb = Hashtbl.find_opt tb k in
+      match (va, vb) with
+      | Some x, Some y when float_bits_equal x y -> acc
+      | _ -> (k, va, vb) :: acc)
+    keys []
+  |> List.sort compare

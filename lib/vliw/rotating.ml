@@ -1,0 +1,121 @@
+module Ddg = Wr_ir.Ddg
+module Operation = Wr_ir.Operation
+module Schedule = Wr_sched.Schedule
+module Lifetime = Wr_regalloc.Lifetime
+
+type allocation = {
+  num_rotating : int;
+  virtual_of : int array;
+  live_in_of : (int, int) Hashtbl.t;
+  num_static : int;
+  total_registers : int;
+}
+
+let lower_bound g (s : Schedule.t) =
+  let ii = s.Schedule.ii in
+  let lifetimes = Lifetime.of_schedule g s in
+  let total = List.fold_left (fun acc lt -> acc + Lifetime.length lt) 0 lifetimes in
+  let longest = List.fold_left (fun acc lt -> Stdlib.max acc (Lifetime.length lt)) 0 lifetimes in
+  Stdlib.max ((total + ii - 1) / ii) ((longest + ii - 1) / ii)
+
+(* Try to pack every lifetime's arc on a circle of circumference R*II;
+   value v may sit at positions (k*II + start_v mod II) for k in
+   [0, R). *)
+let try_pack ~ii ~r lifetimes =
+  let circumference = r * ii in
+  let occupied = Array.make circumference false in
+  let placements = ref [] in
+  let fits pos len =
+    len <= circumference
+    &&
+    let rec check k = k = len || ((not occupied.((pos + k) mod circumference)) && check (k + 1)) in
+    check 0
+  in
+  let mark pos len =
+    for k = 0 to len - 1 do
+      occupied.((pos + k) mod circumference) <- true
+    done
+  in
+  (* Longest arcs are the hardest to place: anchor them first. *)
+  let ordered =
+    List.sort (fun a b -> compare (Lifetime.length b) (Lifetime.length a)) lifetimes
+  in
+  let ok =
+    List.for_all
+      (fun (lt : Lifetime.t) ->
+        let len = Lifetime.length lt in
+        let slot = ((lt.Lifetime.start mod ii) + ii) mod ii in
+        let rec attempt k =
+          if k = r then false
+          else
+            let pos = (k * ii) + slot in
+            if fits pos len then begin
+              mark pos len;
+              (* The arc position index [k] counts whole turns from the
+                 value's absolute start; the virtual register number
+                 must discount the defining operation's stage so that
+                 phys = (virtual - iteration) mod R reproduces the
+                 packed position (arc at (virtual + stage)*II + slot). *)
+              let stage = lt.Lifetime.start / ii in
+              placements := (lt.Lifetime.vreg, k - stage) :: !placements;
+              true
+            end
+            else attempt (k + 1)
+        in
+        attempt 0)
+      ordered
+  in
+  if ok then Some !placements else None
+
+let allocate g (s : Schedule.t) =
+  let ii = s.Schedule.ii in
+  let lifetimes = Lifetime.of_schedule g s in
+  let nv = Ddg.num_vregs g in
+  let virtual_of = Array.make nv (-1) in
+  let num_rotating =
+    match lifetimes with
+    | [] -> 0
+    | _ ->
+        let lo = Stdlib.max 1 (lower_bound g s) in
+        let rec search r =
+          (* First-fit packing is not optimal, but a linear scan from
+             the occupancy bound converges in a handful of steps. *)
+          if r > (4 * lo) + 64 then
+            invalid_arg "Rotating.allocate: packing failed (unexpectedly fragmented)"
+          else
+            match try_pack ~ii ~r lifetimes with
+            | Some placements ->
+                List.iter (fun (v, k) -> virtual_of.(v) <- ((k mod r) + r) mod r) placements;
+                r
+            | None -> search (r + 1)
+        in
+        search lo
+  in
+  (* Live-ins are loop-invariant: they live in static registers outside
+     the rotating region, numbered in first-use order. *)
+  let live_in_of = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      List.iter
+        (fun r ->
+          if Ddg.def_site g r = None && not (Hashtbl.mem live_in_of r) then
+            Hashtbl.add live_in_of r (Hashtbl.length live_in_of))
+        o.Operation.uses)
+    (Ddg.ops g);
+  let num_static = Hashtbl.length live_in_of in
+  {
+    num_rotating;
+    virtual_of;
+    live_in_of;
+    num_static;
+    total_registers = num_rotating + num_static;
+  }
+
+let physical_of_instance a ~vreg ~iteration =
+  match Hashtbl.find_opt a.live_in_of vreg with
+  | Some r -> r
+  | None ->
+      let v = a.virtual_of.(vreg) in
+      if v < 0 then invalid_arg "Rotating.physical_of_instance: unallocated vreg";
+      let r = a.num_rotating in
+      a.num_static + ((((v - iteration) mod r) + r) mod r)

@@ -1,0 +1,36 @@
+(** Rotating register file allocation (the Cydra-5 / IA-64 mechanism
+    the paper's PLDI-92 allocator targets).
+
+    A rotating file of [R] registers renames once per initiation
+    interval: the value a loop body names [r] is physically
+    [(r - iteration) mod R], so consecutive iterations' instances of
+    the same virtual register land in different physical registers and
+    no kernel unrolling is needed (contrast {!Codegen}'s MVE).
+
+    Allocation reduces to cyclic-arc packing: instance [(v, i)] lives
+    in physical [(r_v - i) mod R] during
+    [\[start_v + i*II, start_v + i*II + L_v)]; two values collide
+    exactly when their arcs [\[r_v*II + start_v, +L_v)] overlap on a
+    circle of circumference [R * II].  The allocator places arcs
+    longest-first with first-fit over the [R] admissible positions
+    (each value's position is fixed modulo II by its schedule slot) and
+    grows [R] until everything fits. *)
+
+type allocation = {
+  num_rotating : int;  (** [R] *)
+  virtual_of : int array;  (** vreg -> rotating register number, -1 if none *)
+  live_in_of : (int, int) Hashtbl.t;  (** live-in vreg -> static register *)
+  num_static : int;  (** static registers (live-ins) *)
+  total_registers : int;  (** [num_rotating + num_static] *)
+}
+
+val allocate : Wr_ir.Ddg.t -> Wr_sched.Schedule.t -> allocation
+
+val physical_of_instance : allocation -> vreg:int -> iteration:int -> int
+(** Physical register of the value of [vreg] produced at [iteration];
+    live-ins resolve to their static register.  Rotating registers are
+    numbered after the static ones. *)
+
+val lower_bound : Wr_ir.Ddg.t -> Wr_sched.Schedule.t -> int
+(** [max (ceil (sum L / II)) (ceil (max L / II))] — the slot-occupancy
+    bound the allocator can at best achieve. *)

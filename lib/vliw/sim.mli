@@ -1,0 +1,64 @@
+(** Cycle-level simulator of a modulo-scheduled loop on an [XwY]
+    datapath with a conventional register file.
+
+    Executes every instance [(operation, iteration)] at its scheduled
+    cycle [time(op) + iteration * II], reading physical registers (MVE
+    assignment from {!Codegen}, or rotating assignment from
+    {!Rotating}) at issue and writing results back after
+    the operation's latency — exactly the contract the scheduler's
+    dependence delays promise.  Memory follows the same initial-value
+    conventions as {!Interp}, so the final memory image of a simulation
+    must equal the reference interpreter's, bit for bit: one check
+    covers the scheduler (timing), the allocator (no clobbered
+    registers), the transforms (semantics) and the code generator
+    (operand addressing) at once.
+
+    The simulator also verifies, cycle by cycle, that issue never
+    exceeds the configuration's bus/FPU slots and that unpipelined
+    units are not re-entered — an independent re-check of the modulo
+    reservation table. *)
+
+type mapping = {
+  total_registers : int;
+  physical : vreg:int -> iteration:int -> int;
+}
+(** Abstract register assignment: {!mve_mapping} for a conventional
+    file (kernel-unrolled round-robin blocks), {!rotating_mapping} for
+    a rotating file (hardware renaming, no unrolling). *)
+
+val mve_mapping : Codegen.allocation -> mapping
+val rotating_mapping : Rotating.allocation -> mapping
+
+type result = {
+  cycles : int;  (** first cycle after the last write-back *)
+  kernel_cycles : int;  (** [II * iterations] — the steady-state cost model *)
+  memory : Interp.memory_image;
+  issued : int;  (** operation instances executed *)
+}
+
+exception Hazard of string
+(** Raised when the program breaks a structural rule during simulation:
+    slot over-subscription, unpipelined unit conflict, or a register
+    read of a value that has not been written.  A correct
+    schedule/allocation never triggers it. *)
+
+val run :
+  Wr_ir.Ddg.t ->
+  Wr_sched.Schedule.t ->
+  mapping ->
+  Wr_machine.Config.t ->
+  iterations:int ->
+  result
+
+val check_against_reference :
+  ?file:[ `Conventional | `Rotating ] ->
+  Wr_ir.Loop.t ->
+  Wr_machine.Config.t ->
+  iterations:int ->
+  (result, string) Stdlib.result
+(** End-to-end harness: widen the loop for the configuration, schedule
+    it with enough registers, allocate MVE, simulate
+    [iterations] {e wide} iterations, and compare the memory image with
+    the reference interpreter run of the widened loop (same graph, so
+    the source-iteration correspondence is exact).  [Error] carries a
+    description of the first divergence. *)

@@ -1,0 +1,62 @@
+module Ddg = Wr_ir.Ddg
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Memref = Wr_ir.Memref
+
+type t = {
+  compactable : bool array;
+  on_cycle : bool array;
+  num_compactable : int;
+  num_ops : int;
+}
+
+let analyze ?(width = 1) g =
+  let n = Ddg.num_ops g in
+  let on_cycle = Ddg.recurrence_ops g in
+  (* Local eligibility: off-cycle, and stride-1 if a memory access. *)
+  let eligible =
+    Array.init n (fun i ->
+        let o = Ddg.op g i in
+        (not on_cycle.(i))
+        &&
+        match o.Operation.mem with
+        | Some m -> m.Memref.stride = 1
+        | None -> true)
+  in
+  (* Producer closure: a compactable operation needs every register
+     input packed, i.e. live-in or produced by a compactable op.  The
+     def-use graph restricted to off-cycle operations is acyclic, so a
+     simple fixpoint (deactivate and propagate) terminates quickly. *)
+  let compactable = Array.copy eligible in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if compactable.(i) then begin
+        let inputs_ok =
+          List.for_all
+            (fun (x : Ddg.operand) ->
+              match x.Ddg.producer with
+              | None -> true  (* live-in: broadcast *)
+              | Some d ->
+                  compactable.(d)
+                  (* A packed producer read across iterations must stay
+                     lane-aligned: both ops advance [width] source
+                     iterations per wide iteration, so only distances
+                     that are multiples of the width keep each lane
+                     inside one wide register. *)
+                  && (width = 1 || x.Ddg.distance mod width = 0))
+            (Ddg.operands g i)
+        in
+        if not inputs_ok then begin
+          compactable.(i) <- false;
+          changed := true
+        end
+      end
+    done
+  done;
+  let num_compactable = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 compactable in
+  { compactable; on_cycle; num_compactable; num_ops = n }
+
+let fraction t =
+  if t.num_ops = 0 then 0.0 else float_of_int t.num_compactable /. float_of_int t.num_ops

@@ -1,0 +1,42 @@
+(** Compactability analysis (paper, Section 2).
+
+    Widening only pays off for {e compactable} operations: the same
+    operation applied to multiple independent data items that a single
+    wide functional unit can process at once.  After unrolling a loop
+    [Y] times, the [Y] copies of an operation are compactable into one
+    wide operation when
+
+    {ul
+    {- the operation is not part of any dependence recurrence (a copy
+       would depend on an earlier copy);}
+    {- for memory operations, the access has stride 1, so the copies
+       touch consecutive words that one wide bus transaction covers
+       (the paper: two accesses with a stride other than one must be
+       scheduled in different cycles on a wide bus);}
+    {- every register input is either loop-invariant (broadcast) or
+       itself produced by a compactable operation, so the wide
+       operation finds its operands packed in wide registers.  Reading
+       a single lane {e out of} a wide register is allowed — ports are
+       word-addressable — so scalar consumers of wide producers are
+       fine; the closure is only required on the producer side;}
+    {- a packed input carried across iterations must have a dependence
+       distance divisible by the width: otherwise the consumer's lanes
+       would straddle two wide registers of the producer (an alignment
+       shift the datapath does not provide), so such consumers stay
+       scalar.}} *)
+
+type t = {
+  compactable : bool array;  (** indexed by operation id *)
+  on_cycle : bool array;  (** operation participates in a recurrence *)
+  num_compactable : int;
+  num_ops : int;
+}
+
+val analyze : ?width:int -> Wr_ir.Ddg.t -> t
+(** [width] (default 1 = no alignment constraint) is the packing width
+    the analysis is for; it only affects the carried-distance alignment
+    rule above. *)
+
+val fraction : t -> float
+(** Fraction of operations that are compactable (0 when the graph is
+    empty). *)

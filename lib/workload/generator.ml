@@ -1,0 +1,179 @@
+module B = Wr_ir.Builder
+module Rng = Wr_util.Rng
+
+type params = {
+  seed : int64;
+  num_loops : int;
+  statements_mean : float;
+  statements_max : int;
+  max_depth : int;
+  depth_decay : float;
+  stride1_prob : float;
+  strides : (int * float) array;
+  invariant_prob : float;
+  reuse_prob : float;
+  reduction_prob : float;
+  chain_prob : float;
+  recurrence_distances : (int * float) array;
+  mul_prob : float;
+  div_prob : float;
+  sqrt_prob : float;
+  trip_min : int;
+  trip_max : int;
+  weight_tail : float;
+}
+
+let default =
+  {
+    seed = 0x5EED_1998_0BADL;
+    num_loops = 1180;
+    statements_mean = 2.0;
+    statements_max = 14;
+    max_depth = 4;
+    depth_decay = 0.66;
+    stride1_prob = 0.95;
+    strides = [| (2, 0.4); (4, 0.2); (0, 0.1); (8, 0.1); (-1, 0.2) |];
+    invariant_prob = 0.25;
+    reuse_prob = 0.30;
+    reduction_prob = 0.06;
+    chain_prob = 0.027;
+    recurrence_distances = [| (1, 0.7); (2, 0.2); (4, 0.1) |];
+    mul_prob = 0.45;
+    div_prob = 0.03;
+    sqrt_prob = 0.015;
+    trip_min = 16;
+    trip_max = 4096;
+    weight_tail = 2.0;
+  }
+
+(* Per-loop generation state: the builder plus the pools expressions
+   draw leaves from. *)
+type state = {
+  b : B.t;
+  rng : Rng.t;
+  p : params;
+  mutable next_array : int;
+  mutable values : B.value list;  (** previously computed values, for reuse *)
+  mutable invariants : B.value list;
+}
+
+let fresh_array st =
+  let a = st.next_array in
+  st.next_array <- a + 1;
+  a
+
+let pick_stride st =
+  if Rng.bernoulli st.rng st.p.stride1_prob then 1 else Rng.choose_weighted st.rng st.p.strides
+
+let new_load st =
+  let array_id = fresh_array st in
+  let stride = pick_stride st in
+  let offset = if Rng.bernoulli st.rng 0.15 then Rng.int_in st.rng (-4) 10 else 0 in
+  let v = B.load st.b ~array_id ~stride ~offset () in
+  st.values <- v :: st.values;
+  v
+
+let invariant st =
+  (* Loops reference a handful of scalars (constants, loop-invariant
+     parameters); reuse them rather than minting one per leaf. *)
+  if st.invariants <> [] && Rng.bernoulli st.rng 0.5 then Rng.choose st.rng (Array.of_list st.invariants)
+  else begin
+    let v = B.live_in st.b in
+    st.invariants <- v :: st.invariants;
+    v
+  end
+
+let leaf st =
+  let r = Rng.float st.rng 1.0 in
+  if r < st.p.invariant_prob then invariant st
+  else if r < st.p.invariant_prob +. st.p.reuse_prob && st.values <> [] then
+    Rng.choose st.rng (Array.of_list st.values)
+  else new_load st
+
+let rec expr st depth =
+  if depth >= st.p.max_depth || not (Rng.bernoulli st.rng st.p.depth_decay) then leaf st
+  else begin
+    let l = expr st (depth + 1) in
+    let r = expr st (depth + 1) in
+    let v =
+      if Rng.bernoulli st.rng st.p.mul_prob then B.fmul st.b l r
+      else if Rng.bernoulli st.rng 0.25 then B.fsub st.b l r
+      else B.fadd st.b l r
+    in
+    st.values <- v :: st.values;
+    v
+  end
+
+(* Optionally route a statement's value through an unpipelined
+   operation — the tail of divides and square roots in numerical
+   codes. *)
+let maybe_slow st v =
+  let r = Rng.float st.rng 1.0 in
+  if r < st.p.div_prob then begin
+    let d = B.fdiv st.b v (leaf st) in
+    st.values <- d :: st.values;
+    d
+  end
+  else if r < st.p.div_prob +. st.p.sqrt_prob then begin
+    let s = B.fsqrt st.b v in
+    st.values <- s :: st.values;
+    s
+  end
+  else v
+
+let statement st =
+  let r = Rng.float st.rng 1.0 in
+  if r < st.p.reduction_prob then begin
+    (* s += expr: the loop's result is the accumulator, no store. *)
+    let contribution = expr st 1 in
+    let distance = Rng.choose_weighted st.rng st.p.recurrence_distances in
+    let acc = B.feedback st.b ~distance ~f:(fun prev -> B.fadd st.b prev contribution) in
+    st.values <- acc :: st.values
+  end
+  else if r < st.p.reduction_prob +. st.p.chain_prob then begin
+    (* First-order carried chain through a multiply-add. *)
+    let coeff = expr st 2 in
+    let distance = Rng.choose_weighted st.rng st.p.recurrence_distances in
+    let x =
+      B.feedback st.b ~distance ~f:(fun prev ->
+          let t = B.fmul st.b coeff prev in
+          B.fadd st.b t (leaf st))
+    in
+    st.values <- x :: st.values;
+    B.store st.b ~array_id:(fresh_array st) () x
+  end
+  else begin
+    let v = maybe_slow st (expr st 0) in
+    B.store st.b ~array_id:(fresh_array st) ~stride:(pick_stride st) () v
+  end
+
+let generate_one rng p ~index =
+  let name = Printf.sprintf "synth_%04d" index in
+  let st =
+    { b = B.create ~name (); rng; p; next_array = 0; values = []; invariants = [] }
+  in
+  let n_statements =
+    Stdlib.min p.statements_max (1 + Rng.geometric rng ~p:(1.0 /. (1.0 +. p.statements_mean)))
+  in
+  for _ = 1 to n_statements do
+    statement st
+  done;
+  let trip =
+    (* Log-uniform trip counts: short trip loops are common, very long
+       ones exist. *)
+    let lo = log (float_of_int p.trip_min) and hi = log (float_of_int p.trip_max) in
+    int_of_float (exp (lo +. Rng.float rng (hi -. lo)))
+  in
+  (* Pareto execution weight: a few loops dominate runtime.  Capped so
+     no single loop outweighs dozens of others — the paper's 1180 loops
+     jointly cover 78% of the Perfect Club, none individually
+     dominant. *)
+  let u = Stdlib.max 1e-9 (Rng.float rng 1.0) in
+  let weight = Stdlib.min 25.0 ((1.0 /. u) ** (1.0 /. p.weight_tail)) in
+  B.finish st.b ~trip_count:(Stdlib.max p.trip_min trip) ~weight ()
+
+let generate p =
+  let root = Rng.create ~seed:p.seed in
+  Array.init p.num_loops (fun index ->
+      let rng = Rng.split root in
+      generate_one rng p ~index)

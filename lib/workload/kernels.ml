@@ -1,0 +1,220 @@
+module B = Wr_ir.Builder
+
+(* Array-id conventions are local to each kernel; ids only
+   disambiguate objects within one loop. *)
+
+let daxpy () =
+  let b = B.create ~name:"daxpy" () in
+  let a = B.live_in b in
+  let x = B.load b ~array_id:0 () in
+  let y = B.load b ~array_id:1 () in
+  let r = B.fadd b (B.fmul b a x) y in
+  B.store b ~array_id:1 () r;
+  B.finish b ~trip_count:1000 ()
+
+let dot_product () =
+  let b = B.create ~name:"dot_product" () in
+  let x = B.load b ~array_id:0 () in
+  let y = B.load b ~array_id:1 () in
+  let p = B.fmul b x y in
+  let _sum = B.feedback b ~distance:1 ~f:(fun prev -> B.fadd b prev p) in
+  B.finish b ~trip_count:1000 ()
+
+let vector_add () =
+  let b = B.create ~name:"vector_add" () in
+  let x = B.load b ~array_id:0 () in
+  let y = B.load b ~array_id:1 () in
+  B.store b ~array_id:2 () (B.fadd b x y);
+  B.finish b ~trip_count:1000 ()
+
+let vector_scale () =
+  let b = B.create ~name:"vector_scale" () in
+  let s = B.live_in b in
+  let x = B.load b ~array_id:0 () in
+  B.store b ~array_id:1 () (B.fmul b s x);
+  B.finish b ~trip_count:1000 ()
+
+let stream_triad () =
+  let b = B.create ~name:"stream_triad" () in
+  let s = B.live_in b in
+  let x = B.load b ~array_id:1 () in
+  let y = B.load b ~array_id:2 () in
+  B.store b ~array_id:0 () (B.fadd b x (B.fmul b s y));
+  B.finish b ~trip_count:1000 ()
+
+let first_difference () =
+  let b = B.create ~name:"first_difference" () in
+  let hi = B.load b ~array_id:0 ~offset:1 () in
+  let lo = B.load b ~array_id:0 () in
+  B.store b ~array_id:1 () (B.fsub b hi lo);
+  B.finish b ~trip_count:1000 ()
+
+let hydro_fragment () =
+  let b = B.create ~name:"hydro_fragment" () in
+  let q = B.live_in b and r = B.live_in b and t = B.live_in b in
+  let y = B.load b ~array_id:0 () in
+  let z10 = B.load b ~array_id:1 ~offset:10 () in
+  let z11 = B.load b ~array_id:1 ~offset:11 () in
+  let inner = B.fadd b (B.fmul b r z10) (B.fmul b t z11) in
+  B.store b ~array_id:2 () (B.fadd b q (B.fmul b y inner));
+  B.finish b ~trip_count:1000 ()
+
+let tridiag_elimination () =
+  let b = B.create ~name:"tridiag_elimination" () in
+  let y = B.load b ~array_id:0 () in
+  let z = B.load b ~array_id:1 () in
+  let x =
+    B.feedback b ~distance:1 ~f:(fun x_prev -> B.fmul b z (B.fsub b y x_prev))
+  in
+  B.store b ~array_id:2 () x;
+  B.finish b ~trip_count:1000 ()
+
+let linear_recurrence () =
+  let b = B.create ~name:"linear_recurrence" () in
+  let y = B.load b ~array_id:0 () in
+  let x = B.feedback b ~distance:1 ~f:(fun prev -> B.fadd b prev y) in
+  B.store b ~array_id:1 () x;
+  B.finish b ~trip_count:1000 ()
+
+let state_equation () =
+  let b = B.create ~name:"state_equation" () in
+  let r = B.live_in b and t = B.live_in b in
+  let u = B.load b ~array_id:0 () in
+  let z5 = B.load b ~array_id:1 ~offset:5 () in
+  let z6 = B.load b ~array_id:1 ~offset:6 () in
+  let y4 = B.load b ~array_id:2 ~offset:4 () in
+  let y5 = B.load b ~array_id:2 ~offset:5 () in
+  let t1 = B.fmul b r z5 in
+  let t2 = B.fadd b u t1 in
+  let t3 = B.fmul b t z6 in
+  let t4 = B.fadd b t2 t3 in
+  let t5 = B.fmul b r y4 in
+  let t6 = B.fadd b t4 t5 in
+  let t7 = B.fmul b t y5 in
+  let t8 = B.fadd b t6 t7 in
+  B.store b ~array_id:3 () t8;
+  B.finish b ~trip_count:1000 ()
+
+let adi_fragment () =
+  let b = B.create ~name:"adi_fragment" () in
+  let a = B.load b ~array_id:0 () in
+  let c = B.load b ~array_id:1 () in
+  let d = B.load b ~array_id:2 () in
+  let num = B.fsub b d a in
+  let quot = B.fdiv b num c in
+  B.store b ~array_id:3 () quot;
+  B.finish b ~trip_count:1000 ()
+
+let norm2 () =
+  let b = B.create ~name:"norm2" () in
+  let x = B.load b ~array_id:0 () in
+  let sq = B.fmul b x x in
+  let _sum = B.feedback b ~distance:1 ~f:(fun prev -> B.fadd b prev sq) in
+  B.finish b ~trip_count:1000 ()
+
+let euclidean_distance () =
+  let b = B.create ~name:"euclidean_distance" () in
+  let dx = B.load b ~array_id:0 () in
+  let dy = B.load b ~array_id:1 () in
+  let s = B.fadd b (B.fmul b dx dx) (B.fmul b dy dy) in
+  B.store b ~array_id:2 () (B.fsqrt b s);
+  B.finish b ~trip_count:1000 ()
+
+let pointwise_divide () =
+  let b = B.create ~name:"pointwise_divide" () in
+  let x = B.load b ~array_id:0 () in
+  let y = B.load b ~array_id:1 () in
+  B.store b ~array_id:2 () (B.fdiv b x y);
+  B.finish b ~trip_count:1000 ()
+
+let strided_gather () =
+  let b = B.create ~name:"strided_gather" () in
+  let a = B.live_in b in
+  let x = B.load b ~array_id:0 ~stride:2 () in
+  let y = B.load b ~array_id:1 () in
+  B.store b ~array_id:1 () (B.fadd b (B.fmul b a x) y);
+  B.finish b ~trip_count:1000 ()
+
+let banded_matvec () =
+  let b = B.create ~name:"banded_matvec" () in
+  let d0 = B.load b ~array_id:0 () in
+  let d1 = B.load b ~array_id:1 () in
+  let d2 = B.load b ~array_id:2 () in
+  let d3 = B.load b ~array_id:3 () in
+  let d4 = B.load b ~array_id:4 () in
+  let xm2 = B.load b ~array_id:5 ~offset:(-2) () in
+  let xm1 = B.load b ~array_id:5 ~offset:(-1) () in
+  let x0 = B.load b ~array_id:5 () in
+  let xp1 = B.load b ~array_id:5 ~offset:1 () in
+  let xp2 = B.load b ~array_id:5 ~offset:2 () in
+  let acc = B.fmul b d0 xm2 in
+  let acc = B.fadd b acc (B.fmul b d1 xm1) in
+  let acc = B.fadd b acc (B.fmul b d2 x0) in
+  let acc = B.fadd b acc (B.fmul b d3 xp1) in
+  let acc = B.fadd b acc (B.fmul b d4 xp2) in
+  B.store b ~array_id:6 () acc;
+  B.finish b ~trip_count:1000 ()
+
+let horner () =
+  let b = B.create ~name:"horner" () in
+  let c0 = B.live_in b and c1 = B.live_in b and c2 = B.live_in b in
+  let c3 = B.live_in b and c4 = B.live_in b in
+  let x = B.load b ~array_id:0 () in
+  let acc = B.fadd b (B.fmul b c4 x) c3 in
+  let acc = B.fadd b (B.fmul b acc x) c2 in
+  let acc = B.fadd b (B.fmul b acc x) c1 in
+  let acc = B.fadd b (B.fmul b acc x) c0 in
+  B.store b ~array_id:1 () acc;
+  B.finish b ~trip_count:1000 ()
+
+let complex_multiply () =
+  let b = B.create ~name:"complex_multiply" () in
+  (* Split real/imaginary arrays keep all streams stride 1. *)
+  let ar = B.load b ~array_id:0 () in
+  let ai = B.load b ~array_id:1 () in
+  let br = B.load b ~array_id:2 () in
+  let bi = B.load b ~array_id:3 () in
+  let re = B.fsub b (B.fmul b ar br) (B.fmul b ai bi) in
+  let im = B.fadd b (B.fmul b ar bi) (B.fmul b ai br) in
+  B.store b ~array_id:4 () re;
+  B.store b ~array_id:5 () im;
+  B.finish b ~trip_count:1000 ()
+
+let prefix_max_ratio () =
+  let b = B.create ~name:"prefix_max_ratio" () in
+  let y = B.load b ~array_id:0 () in
+  let m = B.feedback b ~distance:1 ~f:(fun prev -> B.fdiv b prev y) in
+  B.store b ~array_id:1 () m;
+  B.finish b ~trip_count:1000 ()
+
+let dense_update () =
+  let b = B.create ~name:"dense_update" () in
+  let x = B.live_in b in
+  let y = B.load b ~array_id:0 () in
+  let a = B.load b ~array_id:1 () in
+  B.store b ~array_id:1 () (B.fadd b a (B.fmul b x y));
+  B.finish b ~trip_count:1000 ()
+
+let all () =
+  [
+    ("daxpy", daxpy ());
+    ("dot_product", dot_product ());
+    ("vector_add", vector_add ());
+    ("vector_scale", vector_scale ());
+    ("stream_triad", stream_triad ());
+    ("first_difference", first_difference ());
+    ("hydro_fragment", hydro_fragment ());
+    ("tridiag_elimination", tridiag_elimination ());
+    ("linear_recurrence", linear_recurrence ());
+    ("state_equation", state_equation ());
+    ("adi_fragment", adi_fragment ());
+    ("norm2", norm2 ());
+    ("euclidean_distance", euclidean_distance ());
+    ("pointwise_divide", pointwise_divide ());
+    ("strided_gather", strided_gather ());
+    ("banded_matvec", banded_matvec ());
+    ("horner", horner ());
+    ("complex_multiply", complex_multiply ());
+    ("prefix_max_ratio", prefix_max_ratio ());
+    ("dense_update", dense_update ());
+  ]

@@ -1,0 +1,78 @@
+(** Hand-written numerical inner loops.
+
+    A small library of classic kernels (BLAS level 1, STREAM,
+    Livermore-style fragments) used by the examples, the tests and as
+    sanity anchors for the synthetic suite: their dependence structure
+    is known, so expected scheduling behaviour (recurrence-bound or
+    resource-bound, compactable or not) can be asserted exactly. *)
+
+val daxpy : unit -> Wr_ir.Loop.t
+(** [y(i) = a*x(i) + y(i)] — fully compactable, resource bound. *)
+
+val dot_product : unit -> Wr_ir.Loop.t
+(** [s += x(i)*y(i)] — sum recurrence; the multiply tree is
+    compactable, the accumulation is not. *)
+
+val vector_add : unit -> Wr_ir.Loop.t
+(** [c(i) = a(i) + b(i)]. *)
+
+val vector_scale : unit -> Wr_ir.Loop.t
+(** [b(i) = s * a(i)]. *)
+
+val stream_triad : unit -> Wr_ir.Loop.t
+(** [a(i) = b(i) + s*c(i)]. *)
+
+val first_difference : unit -> Wr_ir.Loop.t
+(** [b(i) = a(i+1) - a(i)] — two shifted stride-1 loads. *)
+
+val hydro_fragment : unit -> Wr_ir.Loop.t
+(** Livermore kernel 1: [x(i) = q + y(i)*(r*z(i+10) + t*z(i+11))]. *)
+
+val tridiag_elimination : unit -> Wr_ir.Loop.t
+(** Livermore kernel 5: [x(i) = z(i)*(y(i) - x(i-1))] — a first-order
+    recurrence through a multiply and a subtract. *)
+
+val linear_recurrence : unit -> Wr_ir.Loop.t
+(** Partial sums: [x(i) = x(i-1) + y(i)]. *)
+
+val state_equation : unit -> Wr_ir.Loop.t
+(** Livermore kernel 7 (equation of state fragment): a wide
+    multiply-add tree over five stride-1 streams. *)
+
+val adi_fragment : unit -> Wr_ir.Loop.t
+(** An ADI-style sweep with a division on the critical path. *)
+
+val norm2 : unit -> Wr_ir.Loop.t
+(** [s += x(i)*x(i)] followed (conceptually) by sqrt outside the loop;
+    the loop body is the reduction. *)
+
+val euclidean_distance : unit -> Wr_ir.Loop.t
+(** [d(i) = sqrt(dx(i)^2 + dy(i)^2)] — unpipelined sqrt pressure. *)
+
+val pointwise_divide : unit -> Wr_ir.Loop.t
+(** [c(i) = a(i) / b(i)] — unpipelined divide pressure. *)
+
+val strided_gather : unit -> Wr_ir.Loop.t
+(** [y(i) = a * x(2i) + y(i)] — a stride-2 stream that widening cannot
+    compact. *)
+
+val banded_matvec : unit -> Wr_ir.Loop.t
+(** Five-diagonal matrix-vector product row: five shifted loads, four
+    multiply-adds. *)
+
+val horner : unit -> Wr_ir.Loop.t
+(** Degree-4 polynomial evaluation per element (deep dependent chain,
+    no recurrence). *)
+
+val complex_multiply : unit -> Wr_ir.Loop.t
+(** Interleaved complex product: strided real/imaginary parts. *)
+
+val prefix_max_ratio : unit -> Wr_ir.Loop.t
+(** [m(i) = m(i-1) / y(i)] — recurrence through an unpipelined divide
+    (the worst recurrence the latency models admit). *)
+
+val dense_update : unit -> Wr_ir.Loop.t
+(** Rank-1 update row: [a(i) = a(i) + x * y(i)] read-modify-write. *)
+
+val all : unit -> (string * Wr_ir.Loop.t) list
+(** Every kernel, labelled. *)

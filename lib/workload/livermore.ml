@@ -1,0 +1,251 @@
+module B = Wr_ir.Builder
+
+(* Kernel 1 — hydro fragment:
+     x(k) = q + y(k)*(r*z(k+10) + t*z(k+11)) *)
+let k1_hydro () =
+  let b = B.create ~name:"lfk1_hydro" () in
+  let q = B.live_in b and r = B.live_in b and t = B.live_in b in
+  let y = B.load b ~array_id:0 () in
+  let z10 = B.load b ~array_id:1 ~offset:10 () in
+  let z11 = B.load b ~array_id:1 ~offset:11 () in
+  let inner = B.fadd b (B.fmul b r z10) (B.fmul b t z11) in
+  B.store b ~array_id:2 () (B.fadd b q (B.fmul b y inner));
+  B.finish b ~trip_count:1001 ()
+
+(* Kernel 2 — ICCG (incomplete Cholesky, conjugate gradient), the
+   innermost elimination step over the active band.  The original
+   halves the index range per outer sweep; one sweep's body is
+     x(i) = x(i) - v(i)*x(i+1)
+   over stride-2 positions. *)
+let k2_iccg () =
+  let b = B.create ~name:"lfk2_iccg" () in
+  let xi = B.load b ~array_id:0 ~stride:2 () in
+  let xip = B.load b ~array_id:0 ~stride:2 ~offset:1 () in
+  let v = B.load b ~array_id:1 ~stride:2 () in
+  B.store b ~array_id:2 ~stride:2 () (B.fsub b xi (B.fmul b v xip));
+  B.finish b ~trip_count:500 ()
+
+(* Kernel 3 — inner product: q = q + z(k)*x(k) *)
+let k3_inner_product () =
+  let b = B.create ~name:"lfk3_inner_product" () in
+  let z = B.load b ~array_id:0 () in
+  let x = B.load b ~array_id:1 () in
+  let p = B.fmul b z x in
+  let _q = B.feedback b ~distance:1 ~f:(fun prev -> B.fadd b prev p) in
+  B.finish b ~trip_count:1001 ()
+
+(* Kernel 4 — banded linear equations, the repeated inner update
+     xz(k) = y(k) * (xz(k) - temp)   with temp a short dot product;
+   the dot product is unrolled to its three band terms. *)
+let k4_banded () =
+  let b = B.create ~name:"lfk4_banded" () in
+  let y = B.load b ~array_id:0 () in
+  let xz = B.load b ~array_id:1 () in
+  let b0 = B.load b ~array_id:2 ~stride:5 () in
+  let b1 = B.load b ~array_id:2 ~stride:5 ~offset:1 () in
+  let b2 = B.load b ~array_id:2 ~stride:5 ~offset:2 () in
+  let t0 = B.fadd b (B.fadd b b0 b1) b2 in
+  B.store b ~array_id:1 () (B.fmul b y (B.fsub b xz t0));
+  B.finish b ~trip_count:201 ()
+
+(* Kernel 5 — tridiagonal elimination, below diagonal:
+     x(i) = z(i)*(y(i) - x(i-1)) *)
+let k5_tridiag () =
+  let b = B.create ~name:"lfk5_tridiag" () in
+  let y = B.load b ~array_id:0 () in
+  let z = B.load b ~array_id:1 () in
+  let x = B.feedback b ~distance:1 ~f:(fun prev -> B.fmul b z (B.fsub b y prev)) in
+  B.store b ~array_id:2 () x;
+  B.finish b ~trip_count:1001 ()
+
+(* Kernel 7 — equation of state fragment. *)
+let k7_state () =
+  let b = B.create ~name:"lfk7_state" () in
+  let r = B.live_in b and t = B.live_in b in
+  let u = B.load b ~array_id:0 () in
+  let z5 = B.load b ~array_id:1 ~offset:5 () in
+  let z6 = B.load b ~array_id:1 ~offset:6 () in
+  let y4 = B.load b ~array_id:2 ~offset:4 () in
+  let y5 = B.load b ~array_id:2 ~offset:5 () in
+  let u3 = B.load b ~array_id:0 ~offset:3 () in
+  let u2 = B.load b ~array_id:0 ~offset:2 () in
+  (* x(k) = u(k) + r*(z(k+5) + r*z(k+6))
+                 + t*(u(k+3) + r*(u(k+2) + r*u(k+1))
+                 + t*(y(k+4) + r*y(k+5))) — abbreviated to the same
+     operation mix and depth. *)
+  let inner1 = B.fadd b z5 (B.fmul b r z6) in
+  let inner2 = B.fadd b u2 (B.fmul b r u3) in
+  let inner3 = B.fadd b y4 (B.fmul b r y5) in
+  let mid = B.fadd b inner2 (B.fmul b t inner3) in
+  let x = B.fadd b u (B.fadd b (B.fmul b r inner1) (B.fmul b t mid)) in
+  B.store b ~array_id:3 () x;
+  B.finish b ~trip_count:995 ()
+
+(* Kernel 8 — ADI integration: the innermost sweep updates two
+   solution arrays from six input streams. *)
+let k8_adi () =
+  let b = B.create ~name:"lfk8_adi" () in
+  let a11 = B.live_in b and a12 = B.live_in b and a13 = B.live_in b in
+  let du1 = B.load b ~array_id:0 () in
+  let du2 = B.load b ~array_id:1 () in
+  let du3 = B.load b ~array_id:2 () in
+  let u1 = B.load b ~array_id:3 () in
+  let u2 = B.load b ~array_id:4 () in
+  let u3 = B.load b ~array_id:5 () in
+  let t1 = B.fadd b (B.fmul b a11 du1) (B.fmul b a12 du2) in
+  let t2 = B.fadd b t1 (B.fmul b a13 du3) in
+  B.store b ~array_id:6 () (B.fadd b u1 t2);
+  let s1 = B.fadd b (B.fmul b a12 du1) (B.fmul b a13 du2) in
+  let s2 = B.fadd b s1 (B.fmul b a11 du3) in
+  B.store b ~array_id:7 () (B.fadd b (B.fmul b u2 u3) s2);
+  B.finish b ~trip_count:100 ()
+
+(* Kernel 9 — numerical integration: ten-coefficient predictor. *)
+let k9_integrate () =
+  let b = B.create ~name:"lfk9_integrate" () in
+  let dm = Array.init 5 (fun _ -> B.live_in b) in
+  let px1 = B.load b ~array_id:0 () in
+  let terms =
+    Array.to_list
+      (Array.mapi (fun i c -> B.fmul b c (B.load b ~array_id:(i + 1) ())) dm)
+  in
+  let sum = List.fold_left (fun acc t -> B.fadd b acc t) px1 terms in
+  B.store b ~array_id:0 () sum;
+  B.finish b ~trip_count:101 ()
+
+(* Kernel 10 — numerical differentiation: cascading differences.  Each
+   stage's output feeds the next and is stored. *)
+let k10_differentiate () =
+  let b = B.create ~name:"lfk10_differentiate" () in
+  let ar = B.load b ~array_id:0 () in
+  let bzero = B.load b ~array_id:1 () in
+  let d1 = B.fsub b ar bzero in
+  B.store b ~array_id:2 () d1;
+  let c1 = B.load b ~array_id:3 () in
+  let d2 = B.fsub b d1 c1 in
+  B.store b ~array_id:4 () d2;
+  let c2 = B.load b ~array_id:5 () in
+  let d3 = B.fsub b d2 c2 in
+  B.store b ~array_id:6 () d3;
+  B.finish b ~trip_count:101 ()
+
+(* Kernel 11 — first sum: x(k) = x(k-1) + y(k). *)
+let k11_first_sum () =
+  let b = B.create ~name:"lfk11_first_sum" () in
+  let y = B.load b ~array_id:0 () in
+  let x = B.feedback b ~distance:1 ~f:(fun prev -> B.fadd b prev y) in
+  B.store b ~array_id:1 () x;
+  B.finish b ~trip_count:1001 ()
+
+(* Kernel 12 — first difference: x(k) = y(k+1) - y(k). *)
+let k12_first_diff () =
+  let b = B.create ~name:"lfk12_first_diff" () in
+  let hi = B.load b ~array_id:0 ~offset:1 () in
+  let lo = B.load b ~array_id:0 () in
+  B.store b ~array_id:1 () (B.fsub b hi lo);
+  B.finish b ~trip_count:1000 ()
+
+(* Kernel 18 — 2-D explicit hydrodynamics, one row of the first sweep:
+   neighbouring rows are separate streams at fixed j. *)
+let k18_explicit_hydro () =
+  let b = B.create ~name:"lfk18_explicit_hydro" () in
+  let s = B.live_in b and t = B.live_in b in
+  let za_j = B.load b ~array_id:0 () in
+  let za_jm = B.load b ~array_id:1 () in
+  let zp_j = B.load b ~array_id:2 () in
+  let zp_jm = B.load b ~array_id:3 () in
+  let zq_j = B.load b ~array_id:4 () in
+  let zq_jm = B.load b ~array_id:5 () in
+  let zr_j = B.load b ~array_id:6 () in
+  let zm_k = B.load b ~array_id:7 () in
+  let zm_km = B.load b ~array_id:7 ~offset:(-1) () in
+  let d1 = B.fsub b zp_j zp_jm in
+  let d2 = B.fsub b zq_j zq_jm in
+  let num = B.fadd b (B.fmul b za_j d1) (B.fmul b za_jm d2) in
+  let den = B.fadd b zm_k zm_km in
+  let zu = B.fadd b zr_j (B.fmul b s (B.fdiv b num den)) in
+  B.store b ~array_id:8 () zu;
+  let zv = B.fsub b zr_j (B.fmul b t (B.fmul b za_j d2)) in
+  B.store b ~array_id:9 () zv;
+  B.finish b ~trip_count:100 ()
+
+(* Kernel 19 — general linear recurrence: stb5 = sa(k)*stb5 + sb(k). *)
+let k19_linear_recurrence () =
+  let b = B.create ~name:"lfk19_linear_recurrence" () in
+  let sa = B.load b ~array_id:0 () in
+  let sb = B.load b ~array_id:1 () in
+  let stb5 = B.feedback b ~distance:1 ~f:(fun prev -> B.fadd b (B.fmul b sa prev) sb) in
+  B.store b ~array_id:2 () stb5;
+  B.finish b ~trip_count:101 ()
+
+(* Kernel 20 — discrete ordinates transport: a quotient feeds a carried
+   product chain (abbreviated to the critical dependence shape:
+   division and two multiplies on the cycle). *)
+let k20_transport () =
+  let b = B.create ~name:"lfk20_transport" () in
+  let g = B.live_in b in
+  let u = B.load b ~array_id:0 () in
+  let v = B.load b ~array_id:1 () in
+  let w = B.load b ~array_id:2 () in
+  let xx =
+    B.feedback b ~distance:1 ~f:(fun prev ->
+        let di = B.fadd b u (B.fmul b v prev) in
+        let dn = B.fdiv b w di in
+        B.fmul b (B.fadd b prev g) dn)
+  in
+  B.store b ~array_id:3 () xx;
+  B.finish b ~trip_count:1001 ()
+
+(* Kernel 21 — matrix product inner loop with the accumulator in
+   memory: px(i) = px(i) + vy(k)*cx(i), i inner. *)
+let k21_matmul () =
+  let b = B.create ~name:"lfk21_matmul" () in
+  let vy = B.live_in b in
+  let px = B.load b ~array_id:0 () in
+  let cx = B.load b ~array_id:1 () in
+  B.store b ~array_id:0 () (B.fadd b px (B.fmul b vy cx));
+  B.finish b ~trip_count:25 ()
+
+(* Kernel 23 — 2-D implicit hydrodynamics, one row:
+     qa = za(j+1,k)*zr + za(j-1,k)*zb + za(j,k+1)*zu + za(j,k-1)*zv + zz
+     za(j,k) += 0.175*(qa - za(j,k))
+   with the k+-1 neighbours as shifted streams. *)
+let k23_implicit_hydro () =
+  let b = B.create ~name:"lfk23_implicit_hydro" () in
+  let zr = B.live_in b and zb = B.live_in b and zu = B.live_in b in
+  let zv = B.live_in b and f = B.live_in b in
+  let za_jp = B.load b ~array_id:0 () in
+  let za_jm = B.load b ~array_id:1 () in
+  let za_kp = B.load b ~array_id:2 ~offset:1 () in
+  let za_km = B.load b ~array_id:2 ~offset:(-1) () in
+  let za = B.load b ~array_id:2 () in
+  let zz = B.load b ~array_id:3 () in
+  let qa =
+    B.fadd b
+      (B.fadd b (B.fmul b za_jp zr) (B.fmul b za_jm zb))
+      (B.fadd b (B.fadd b (B.fmul b za_kp zu) (B.fmul b za_km zv)) zz)
+  in
+  B.store b ~array_id:2 () (B.fadd b za (B.fmul b f (B.fsub b qa za)));
+  B.finish b ~trip_count:100 ()
+
+let all () =
+  [
+    ("k1", k1_hydro ());
+    ("k2", k2_iccg ());
+    ("k3", k3_inner_product ());
+    ("k4", k4_banded ());
+    ("k5", k5_tridiag ());
+    ("k7", k7_state ());
+    ("k8", k8_adi ());
+    ("k9", k9_integrate ());
+    ("k10", k10_differentiate ());
+    ("k11", k11_first_sum ());
+    ("k12", k12_first_diff ());
+    ("k18", k18_explicit_hydro ());
+    ("k19", k19_linear_recurrence ());
+    ("k20", k20_transport ());
+    ("k21", k21_matmul ());
+    ("k23", k23_implicit_hydro ());
+  ]
+
+let suite () = Array.of_list (List.map snd (all ()))

@@ -1,0 +1,72 @@
+(** The Livermore FORTRAN Kernels (McMahon, 1986) — the classic
+    floating-point loop suite of the paper's era — as loop dependence
+    graphs.
+
+    Sixteen of the twenty-four kernels have innermost loops expressible
+    in this IR (affine accesses, no data-dependent control flow); for
+    the multi-dimensional kernels the innermost loop is taken with the
+    outer indices fixed, as a software pipeliner would see it.  The
+    remaining eight need gather/scatter (13, 14), data-dependent
+    control flow (15, 16, 17, 24), a non-affine carried index (6) or a
+    transcendental (22), and are omitted — the omission is the honest
+    boundary of the machine model, the same one the paper's own
+    workbench of {e software-pipelinable} loops draws.
+
+    Each kernel uses its traditional loop length; weights are uniform. *)
+
+val k1_hydro : unit -> Wr_ir.Loop.t
+(** [x(k) = q + y(k)*(r*z(k+10) + t*z(k+11))]. *)
+
+val k2_iccg : unit -> Wr_ir.Loop.t
+(** Inner ICCG step: [x(i) = x(i) - v(i)*x(i+1)] over the active band
+    (stride-2 gather flavour kept as stride 2). *)
+
+val k3_inner_product : unit -> Wr_ir.Loop.t
+(** [q = q + z(k)*x(k)]. *)
+
+val k4_banded : unit -> Wr_ir.Loop.t
+(** Banded linear equations inner update. *)
+
+val k5_tridiag : unit -> Wr_ir.Loop.t
+(** [x(i) = z(i)*(y(i) - x(i-1))]. *)
+
+val k7_state : unit -> Wr_ir.Loop.t
+(** Equation of state fragment (the big multiply-add tree). *)
+
+val k8_adi : unit -> Wr_ir.Loop.t
+(** ADI integration innermost sweep (two output streams). *)
+
+val k9_integrate : unit -> Wr_ir.Loop.t
+(** Numerical integration: ten-coefficient predictor update. *)
+
+val k10_differentiate : unit -> Wr_ir.Loop.t
+(** Numerical differentiation: cascading difference chain. *)
+
+val k11_first_sum : unit -> Wr_ir.Loop.t
+(** [x(k) = x(k-1) + y(k)]. *)
+
+val k12_first_diff : unit -> Wr_ir.Loop.t
+(** [x(k) = y(k+1) - y(k)]. *)
+
+val k18_explicit_hydro : unit -> Wr_ir.Loop.t
+(** 2-D explicit hydrodynamics innermost row (fixed [j]). *)
+
+val k19_linear_recurrence : unit -> Wr_ir.Loop.t
+(** [stb5 = sa(k)*stb5 + sb(k)] — general first-order recurrence. *)
+
+val k20_transport : unit -> Wr_ir.Loop.t
+(** Discrete ordinates transport: a division feeding a carried
+    product. *)
+
+val k21_matmul : unit -> Wr_ir.Loop.t
+(** Matrix product inner loop: [px(i) = px(i) + vy(k)*cx(i)] with the
+    accumulator in memory (read-modify-write). *)
+
+val k23_implicit_hydro : unit -> Wr_ir.Loop.t
+(** 2-D implicit hydrodynamics innermost row. *)
+
+val all : unit -> (string * Wr_ir.Loop.t) list
+(** The sixteen kernels, labelled ["k1" .. "k23"]. *)
+
+val suite : unit -> Wr_ir.Loop.t array
+(** The kernels as an evaluation suite. *)

@@ -1,0 +1,66 @@
+module Loop = Wr_ir.Loop
+module Ddg = Wr_ir.Ddg
+module Opcode = Wr_ir.Opcode
+module Operation = Wr_ir.Operation
+
+let cache = ref None
+
+let perfect_club_like () =
+  match !cache with
+  | Some loops -> loops
+  | None ->
+      let loops = Generator.generate Generator.default in
+      cache := Some loops;
+      loops
+
+let sample k =
+  let all = perfect_club_like () in
+  if k <= 0 then invalid_arg "Suite.sample: size must be positive";
+  let n = Array.length all in
+  let step = Stdlib.max 1 (n / k) in
+  Array.init (Stdlib.min k ((n + step - 1) / step)) (fun i -> all.(i * step))
+
+let with_kernels () =
+  Array.append (Array.of_list (List.map snd (Kernels.all ()))) (perfect_club_like ())
+
+let statistics loops =
+  let total_ops = ref 0 and total_loops = Array.length loops in
+  let opcode_counts = Hashtbl.create 16 in
+  let recurrence_loops = ref 0 in
+  let sizes = ref [] in
+  Array.iter
+    (fun (l : Loop.t) ->
+      let g = l.Loop.ddg in
+      let n = Ddg.num_ops g in
+      total_ops := !total_ops + n;
+      sizes := float_of_int n :: !sizes;
+      if Ddg.has_recurrence g then incr recurrence_loops;
+      Array.iter
+        (fun (o : Operation.t) ->
+          let key = Opcode.to_string o.Operation.opcode in
+          Hashtbl.replace opcode_counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt opcode_counts key)))
+        (Ddg.ops g))
+    loops;
+  let sizes = Array.of_list !sizes in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "loops: %d, ops: %d (mean %.1f, median %.0f, p95 %.0f)\n" total_loops
+       !total_ops
+       (Wr_util.Stats.mean sizes)
+       (Wr_util.Stats.median sizes)
+       (Wr_util.Stats.percentile sizes 95.0));
+  Buffer.add_string buf
+    (Printf.sprintf "loops with recurrences: %d (%.1f%%)\n" !recurrence_loops
+       (100.0 *. float_of_int !recurrence_loops /. float_of_int (Stdlib.max 1 total_loops)));
+  let entries =
+    List.sort (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) opcode_counts [])
+  in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-6s %6d (%.1f%%)\n" k v
+           (100.0 *. float_of_int v /. float_of_int (Stdlib.max 1 !total_ops))))
+    entries;
+  Buffer.contents buf

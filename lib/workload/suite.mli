@@ -1,0 +1,22 @@
+(** The study workload: 1180 synthetic Perfect-Club-like loops plus the
+    named kernels as anchors.
+
+    The paper's workbench is 1180 software-pipelinable innermost loops
+    covering 78% of the Perfect Club's execution time.  Our suite is
+    {!Generator.generate} with the calibrated default parameters —
+    deterministic, so every experiment sees exactly the same loops. *)
+
+val perfect_club_like : unit -> Wr_ir.Loop.t array
+(** The full 1180-loop suite (memoized after the first call). *)
+
+val sample : int -> Wr_ir.Loop.t array
+(** A deterministic subset of the suite (every k-th loop), for fast
+    tests and benchmark timing runs. *)
+
+val with_kernels : unit -> Wr_ir.Loop.t array
+(** The suite plus the hand-written kernels. *)
+
+val statistics : Wr_ir.Loop.t array -> string
+(** Human-readable aggregate statistics (op counts, op mix, recurrence
+    and compactability fractions) — printed by the bench harness so the
+    workload substitution is auditable. *)

@@ -1,0 +1,172 @@
+(* Tests for wr_machine: configurations, cycle models, resources. *)
+
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Opcode = Wr_ir.Opcode
+
+let test_config_xwy () =
+  let c = Config.xwy ~registers:128 ~partitions:2 ~x:4 ~y:2 () in
+  Alcotest.(check int) "buses" 4 c.Config.buses;
+  Alcotest.(check int) "fpus" 8 c.Config.fpus;
+  Alcotest.(check int) "width" 2 c.Config.width;
+  Alcotest.(check int) "factor" 8 (Config.factor c);
+  Alcotest.(check int) "bits" 128 (Config.bits_per_register c)
+
+let test_config_ports () =
+  (* 2 reads + 1 write per FPU, 1 read + 1 write per bus: XwY has
+     5X reads and 3X writes (paper, Table 3). *)
+  List.iter
+    (fun x ->
+      let c = Config.xwy ~x ~y:1 () in
+      Alcotest.(check int) "reads" (5 * x) (Config.read_ports c);
+      Alcotest.(check int) "writes" (3 * x) (Config.write_ports c))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_config_partition_ports () =
+  (* Paper Section 4.2: 8w1 as two copies has 20R+24W per copy. *)
+  let c = Config.xwy ~registers:64 ~partitions:2 ~x:8 ~y:1 () in
+  Alcotest.(check int) "reads per copy" 20 (Config.read_ports_per_partition c);
+  Alcotest.(check int) "writes per copy" 24 (Config.write_ports_per_partition c)
+
+let test_config_validation () =
+  Alcotest.(check bool) "partitions must divide buses" true
+    (try
+       ignore (Config.make ~buses:4 ~fpus:8 ~width:1 ~registers:64 ~partitions:3 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "partitions cannot exceed buses" true
+    (try
+       ignore (Config.make ~buses:2 ~fpus:4 ~width:1 ~registers:64 ~partitions:4 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "positive width" true
+    (try
+       ignore (Config.make ~buses:1 ~fpus:2 ~width:0 ~registers:64 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_config_label_parse_roundtrip () =
+  let cases = [ "4w2(128:2)"; "1w1(32)"; "8w1(64:8)"; "2w4" ] in
+  List.iter
+    (fun s ->
+      match Config.parse s with
+      | Ok c -> Alcotest.(check string) ("roundtrip " ^ s) s (Config.label c)
+      | Error e -> Alcotest.fail e)
+    cases
+
+let test_config_parse_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true (Result.is_error (Config.parse s)))
+    [ "w2"; "4x2"; "4w"; "4w2(128:3)"; "0w2"; "4w2(0)"; "garbage" ]
+
+let test_config_grid () =
+  let grid = Config.paper_grid ~max_factor:8 ~registers:[ 64 ] in
+  let labels = List.map Config.label_short grid in
+  Alcotest.(check (list string)) "paper order"
+    [ "2w1"; "1w2"; "4w1"; "2w2"; "1w4"; "8w1"; "4w2"; "2w4"; "1w8" ]
+    labels
+
+let test_config_valid_partitions () =
+  let c = Config.xwy ~x:8 ~y:1 () in
+  Alcotest.(check (list int)) "divisors" [ 1; 2; 4; 8 ] (Config.valid_partitions c)
+
+let test_cycle_model_table6 () =
+  (* The exact Table 6. *)
+  let check cm (store, short, div, sqrt) =
+    Alcotest.(check int) "store" store (Cycle_model.latency cm Opcode.Store_op);
+    Alcotest.(check int) "short" short (Cycle_model.latency cm Opcode.Short_op);
+    Alcotest.(check int) "div" div (Cycle_model.latency cm Opcode.Div_op);
+    Alcotest.(check int) "sqrt" sqrt (Cycle_model.latency cm Opcode.Sqrt_op)
+  in
+  check Cycle_model.Cycles_4 (1, 4, 19, 27);
+  check Cycle_model.Cycles_3 (1, 3, 15, 21);
+  check Cycle_model.Cycles_2 (1, 2, 10, 14);
+  check Cycle_model.Cycles_1 (1, 1, 5, 7)
+
+let test_cycle_model_classification () =
+  (* The paper's worked examples (Section 5.2): Tc=1.85 -> 3-cycles,
+     Tc=2.09 -> 2-cycles, Tc=1.80 -> 3-cycles. *)
+  Alcotest.(check int) "1.85" 3 (Cycle_model.cycles (Cycle_model.of_relative_cycle_time 1.85));
+  Alcotest.(check int) "2.09" 2 (Cycle_model.cycles (Cycle_model.of_relative_cycle_time 2.09));
+  Alcotest.(check int) "1.80" 3 (Cycle_model.cycles (Cycle_model.of_relative_cycle_time 1.80));
+  Alcotest.(check int) "1.0 stays 4" 4 (Cycle_model.cycles (Cycle_model.of_relative_cycle_time 1.0));
+  Alcotest.(check int) "faster clamps to 4" 4
+    (Cycle_model.cycles (Cycle_model.of_relative_cycle_time 0.5));
+  Alcotest.(check int) "very slow clamps to 1" 1
+    (Cycle_model.cycles (Cycle_model.of_relative_cycle_time 10.0))
+
+let test_cycle_model_occupancy () =
+  Alcotest.(check int) "pipelined mul occupies 1" 1
+    (Cycle_model.occupancy Cycle_model.Cycles_4 Opcode.Fmul);
+  Alcotest.(check int) "div occupies its latency" 19
+    (Cycle_model.occupancy Cycle_model.Cycles_4 Opcode.Fdiv);
+  Alcotest.(check int) "sqrt under 2-cycles" 14
+    (Cycle_model.occupancy Cycle_model.Cycles_2 Opcode.Fsqrt)
+
+let test_resource_slots () =
+  let c = Config.xwy ~x:4 ~y:2 () in
+  let r = Resource.of_config c in
+  Alcotest.(check int) "bus slots" 4 (Resource.slots r Opcode.Bus);
+  Alcotest.(check int) "fpu slots" 8 (Resource.slots r Opcode.Fpu)
+
+let test_resource_demand () =
+  let loop = Wr_workload.Kernels.daxpy () in
+  let r = Resource.of_config (Config.xwy ~x:1 ~y:1 ()) in
+  let bus, fpu =
+    Resource.total_slot_demand r ~cycle_model:Cycle_model.Cycles_4 loop.Wr_ir.Loop.ddg
+  in
+  (* daxpy: 2 loads + 1 store on the bus, mul + add on FPUs. *)
+  Alcotest.(check int) "bus demand" 3 bus;
+  Alcotest.(check int) "fpu demand" 2 fpu
+
+let prop_parse_never_crashes =
+  QCheck.Test.make ~name:"Config.parse is total" ~count:500
+    (QCheck.make ~print:(Printf.sprintf "%S") QCheck.Gen.(string_size (int_bound 12)))
+    (fun s -> match Config.parse s with Ok _ | Error _ -> true)
+
+let prop_label_parse_roundtrip =
+  QCheck.Test.make ~name:"label/parse roundtrip on random grid configs" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let rng = Wr_util.Rng.create ~seed:(Int64.of_int (seed + 9)) in
+      let x = 1 lsl Wr_util.Rng.int rng 5 in
+      let y = 1 lsl Wr_util.Rng.int rng 5 in
+      let z = [| 32; 64; 128; 256 |].(Wr_util.Rng.int rng 4) in
+      let parts = List.nth (Config.valid_partitions (Config.xwy ~x ~y ()))
+          (Wr_util.Rng.int rng (List.length (Config.valid_partitions (Config.xwy ~x ~y ())))) in
+      let c = Config.xwy ~registers:z ~partitions:parts ~x ~y () in
+      match Config.parse (Config.label c) with
+      | Ok c' -> Config.equal c c'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "wr_machine"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "xwy" `Quick test_config_xwy;
+          Alcotest.test_case "ports" `Quick test_config_ports;
+          Alcotest.test_case "partition ports" `Quick test_config_partition_ports;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "label/parse roundtrip" `Quick test_config_label_parse_roundtrip;
+          Alcotest.test_case "parse rejects" `Quick test_config_parse_rejects;
+          Alcotest.test_case "paper grid" `Quick test_config_grid;
+          Alcotest.test_case "valid partitions" `Quick test_config_valid_partitions;
+        ] );
+      ( "cycle_model",
+        [
+          Alcotest.test_case "table 6" `Quick test_cycle_model_table6;
+          Alcotest.test_case "classification" `Quick test_cycle_model_classification;
+          Alcotest.test_case "occupancy" `Quick test_cycle_model_occupancy;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "slots" `Quick test_resource_slots;
+          Alcotest.test_case "demand" `Quick test_resource_demand;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parse_never_crashes; prop_label_parse_roundtrip ] );
+    ]

@@ -1,0 +1,368 @@
+(* Tests for wr_sched: MII bounds, the modulo reservation table, and
+   the iterative modulo scheduler (including schedule-legality
+   properties over random loops and configurations). *)
+
+module Ddg = Wr_ir.Ddg
+module Loop = Wr_ir.Loop
+module Opcode = Wr_ir.Opcode
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Mii = Wr_sched.Mii
+module Mrt = Wr_sched.Mrt
+module Modulo = Wr_sched.Modulo
+module Schedule = Wr_sched.Schedule
+module K = Wr_workload.Kernels
+
+let cm = Cycle_model.Cycles_4
+
+let resource_1w1 = Resource.of_config (Config.xwy ~x:1 ~y:1 ())
+
+(* --- MII ----------------------------------------------------------------- *)
+
+let test_res_mii_daxpy () =
+  let loop = K.daxpy () in
+  (* 3 memory ops on 1 bus. *)
+  Alcotest.(check int) "1w1 bus bound" 3 (Mii.res_mii resource_1w1 ~cycle_model:cm loop.Loop.ddg);
+  let r4 = Resource.of_config (Config.xwy ~x:4 ~y:1 ()) in
+  Alcotest.(check int) "4w1" 1 (Mii.res_mii r4 ~cycle_model:cm loop.Loop.ddg)
+
+let test_res_mii_divide_occupancy () =
+  let loop = K.pointwise_divide () in
+  (* One unpipelined divide occupies an FPU for 19 cycles; 2 FPUs. *)
+  let expected = (19 + 1) / 2 in
+  Alcotest.(check int) "div occupancy" expected
+    (Mii.res_mii resource_1w1 ~cycle_model:cm loop.Loop.ddg)
+
+let test_rec_mii_acyclic () =
+  let loop = K.daxpy () in
+  Alcotest.(check int) "acyclic rec_mii" 1 (Mii.rec_mii ~cycle_model:cm loop.Loop.ddg);
+  Alcotest.(check (float 1e-9)) "acyclic rate" 0.0 (Mii.rec_rate ~cycle_model:cm loop.Loop.ddg)
+
+let test_rec_mii_accumulator () =
+  let loop = K.dot_product () in
+  (* s += p through a latency-4 fadd at distance 1. *)
+  Alcotest.(check int) "rec_mii 4" 4 (Mii.rec_mii ~cycle_model:cm loop.Loop.ddg);
+  Alcotest.(check (float 1e-6)) "rate 4" 4.0 (Mii.rec_rate ~cycle_model:cm loop.Loop.ddg)
+
+let test_rec_mii_divide_recurrence () =
+  let loop = K.prefix_max_ratio () in
+  (* m(i) = m(i-1)/y(i): a 19-cycle divide on the cycle. *)
+  Alcotest.(check int) "rec_mii 19" 19 (Mii.rec_mii ~cycle_model:cm loop.Loop.ddg)
+
+let test_rec_mii_under_faster_model () =
+  let loop = K.prefix_max_ratio () in
+  Alcotest.(check int) "2-cycles model div=10" 10
+    (Mii.rec_mii ~cycle_model:Cycle_model.Cycles_2 loop.Loop.ddg)
+
+let test_rec_mii_distance_2 () =
+  let b = Wr_ir.Builder.create () in
+  let x = Wr_ir.Builder.load b ~array_id:0 () in
+  let _s = Wr_ir.Builder.feedback b ~distance:2 ~f:(fun prev -> Wr_ir.Builder.fadd b prev x) in
+  let loop = Wr_ir.Builder.finish b ~trip_count:10 () in
+  (* latency 4 over distance 2. *)
+  Alcotest.(check int) "ceil(4/2)" 2 (Mii.rec_mii ~cycle_model:cm loop.Loop.ddg);
+  Alcotest.(check (float 1e-6)) "rate 2" 2.0 (Mii.rec_rate ~cycle_model:cm loop.Loop.ddg)
+
+(* --- MRT ----------------------------------------------------------------- *)
+
+let test_mrt_basic () =
+  let mrt = Mrt.create ~ii:4 resource_1w1 in
+  Alcotest.(check bool) "empty accepts" true (Mrt.can_place mrt Opcode.Bus ~time:2 ~occupancy:1);
+  Mrt.place mrt Opcode.Bus ~time:2 ~occupancy:1;
+  Alcotest.(check bool) "slot full" false (Mrt.can_place mrt Opcode.Bus ~time:6 ~occupancy:1);
+  Alcotest.(check bool) "other slot free" true (Mrt.can_place mrt Opcode.Bus ~time:3 ~occupancy:1);
+  Mrt.remove mrt Opcode.Bus ~time:2 ~occupancy:1;
+  Alcotest.(check bool) "freed" true (Mrt.can_place mrt Opcode.Bus ~time:6 ~occupancy:1)
+
+let test_mrt_occupancy_wrap () =
+  (* occupancy 19 at II 8 covers every slot at least twice, some thrice. *)
+  let r2 = Resource.of_config (Config.xwy ~x:1 ~y:1 ()) in
+  (* 2 FPUs *)
+  let mrt = Mrt.create ~ii:8 r2 in
+  Alcotest.(check bool) "19-cycle divide needs 3 high slots" false
+    (Mrt.can_place mrt Opcode.Fpu ~time:0 ~occupancy:19);
+  Alcotest.(check bool) "16 cycles exactly fills both units" true
+    (Mrt.can_place mrt Opcode.Fpu ~time:0 ~occupancy:16)
+
+let test_mrt_negative_time () =
+  let mrt = Mrt.create ~ii:5 resource_1w1 in
+  Mrt.place mrt Opcode.Bus ~time:(-3) ~occupancy:1;
+  Alcotest.(check int) "wraps to slot 2" 1 (Mrt.usage mrt Opcode.Bus ~slot:2)
+
+let test_mrt_over_subscription_raises () =
+  let mrt = Mrt.create ~ii:2 resource_1w1 in
+  Mrt.place mrt Opcode.Bus ~time:0 ~occupancy:1;
+  Alcotest.(check bool) "raises" true
+    (try
+       Mrt.place mrt Opcode.Bus ~time:2 ~occupancy:1;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- scheduling on kernels ------------------------------------------------ *)
+
+let schedule_kernel loop config =
+  let r = Resource.of_config config in
+  Modulo.run r ~cycle_model:cm loop.Loop.ddg
+
+let test_schedule_daxpy_1w1 () =
+  let result = schedule_kernel (K.daxpy ()) (Config.xwy ~x:1 ~y:1 ()) in
+  Alcotest.(check int) "II = MII = 3" 3 result.Modulo.schedule.Schedule.ii
+
+let test_schedule_reaches_mii_on_kernels () =
+  (* On these small kernels the scheduler should always achieve the
+     MII. *)
+  List.iter
+    (fun (name, loop) ->
+      let result = schedule_kernel loop (Config.xwy ~x:2 ~y:1 ()) in
+      Alcotest.(check int) (name ^ " ii=mii") result.Modulo.mii
+        result.Modulo.schedule.Schedule.ii)
+    (K.all ())
+
+let test_schedule_empty_graph () =
+  let g = Ddg.create ~num_vregs:0 ~ops:[||] ~edges:[] in
+  let result = Modulo.run resource_1w1 ~cycle_model:cm g in
+  Alcotest.(check int) "empty II" 1 result.Modulo.schedule.Schedule.ii
+
+let test_schedule_min_ii () =
+  let loop = K.daxpy () in
+  let result = Modulo.run resource_1w1 ~cycle_model:cm ~min_ii:10 loop.Loop.ddg in
+  Alcotest.(check int) "forced II" 10 result.Modulo.schedule.Schedule.ii;
+  Alcotest.(check bool) "still valid" true
+    (Result.is_ok (Schedule.validate loop.Loop.ddg resource_1w1 result.Modulo.schedule))
+
+let test_schedule_stage_count () =
+  let loop = K.horner () in
+  let result = schedule_kernel loop (Config.xwy ~x:4 ~y:1 ()) in
+  (* Horner has a long dependent chain: the pipeline must be deep. *)
+  Alcotest.(check bool) "multiple stages" true
+    (Schedule.stage_count result.Modulo.schedule > 2)
+
+let test_validate_catches_bad_schedule () =
+  let loop = K.daxpy () in
+  let result = schedule_kernel loop (Config.xwy ~x:1 ~y:1 ()) in
+  let times = Array.copy result.Modulo.schedule.Schedule.times in
+  (* Clobber: put everything at cycle 0 — resources and deps break. *)
+  Array.fill times 0 (Array.length times) 0;
+  let bad = Schedule.make ~ii:result.Modulo.schedule.Schedule.ii ~times ~cycle_model:cm in
+  Alcotest.(check bool) "invalid detected" true
+    (Result.is_error (Schedule.validate loop.Loop.ddg resource_1w1 bad))
+
+(* --- SMS ordering ----------------------------------------------------------- *)
+
+let test_sms_order_is_permutation () =
+  List.iter
+    (fun (_, loop) ->
+      let g = loop.Loop.ddg in
+      let ii = Mii.rec_mii ~cycle_model:cm g in
+      let order = Wr_sched.Sms_order.compute ~cycle_model:cm g ~ii in
+      let sorted = Array.copy order in
+      Array.sort compare sorted;
+      Alcotest.(check (array int)) "permutation" (Array.init (Ddg.num_ops g) (fun i -> i)) sorted)
+    (K.all ())
+
+let test_sms_schedules_kernels () =
+  List.iter
+    (fun (name, loop) ->
+      let result =
+        Modulo.run resource_1w1 ~cycle_model:cm ~ordering:`Sms loop.Loop.ddg
+      in
+      Alcotest.(check bool) (name ^ " valid") true
+        (Result.is_ok (Schedule.validate loop.Loop.ddg resource_1w1 result.Modulo.schedule)))
+    (K.all ())
+
+let test_sms_register_friendly () =
+  (* The published SMS claim on our workload: at equal II it needs no
+     more registers than the height ordering, usually fewer. *)
+  let loops = Wr_workload.Suite.sample 40 in
+  let resource = Resource.of_config (Config.xwy ~x:2 ~y:1 ()) in
+  let total ordering =
+    Array.fold_left
+      (fun acc (l : Loop.t) ->
+        let r = Modulo.run resource ~cycle_model:cm ~ordering l.Loop.ddg in
+        let lts = Wr_regalloc.Lifetime.of_schedule l.Loop.ddg r.Modulo.schedule in
+        acc + (Wr_regalloc.Alloc.allocate ~ii:r.Modulo.schedule.Schedule.ii lts).Wr_regalloc.Alloc.required)
+      0 loops
+  in
+  let ims = total `Ims and sms = total `Sms in
+  Alcotest.(check bool) (Printf.sprintf "sms %d <= ims %d" sms ims) true (sms <= ims)
+
+(* --- exhaustive search cross-check ------------------------------------------ *)
+
+module Search = Wr_sched.Search
+
+let test_search_kernels_at_mii () =
+  (* The backtracking search confirms the kernels are schedulable at
+     the MII — so when the heuristic reports II = MII it is optimal. *)
+  List.iter
+    (fun (name, loop) ->
+      let g = loop.Loop.ddg in
+      let mii = Mii.mii resource_1w1 ~cycle_model:cm g in
+      match Search.at_ii resource_1w1 ~cycle_model:cm ~ii:mii g with
+      | Search.Feasible _ -> ()
+      | Search.Infeasible -> Alcotest.fail (name ^ ": MII infeasible?")
+      | Search.Gave_up -> Alcotest.fail (name ^ ": search budget too small"))
+    (K.all ())
+
+let test_search_agrees_with_heuristic () =
+  (* On small random loops the heuristic must achieve the same minimal
+     II the exhaustive search finds. *)
+  let checked = ref 0 in
+  for seed = 0 to 120 do
+    let rng = Wr_util.Rng.create ~seed:(Int64.of_int (seed + 777)) in
+    let loop = Wr_workload.Generator.generate_one rng Wr_workload.Generator.default ~index:seed in
+    if Ddg.num_ops loop.Loop.ddg <= 14 then begin
+      incr checked;
+      let g = loop.Loop.ddg in
+      match Search.min_ii resource_1w1 ~cycle_model:cm g with
+      | None -> ()
+      | Some (best_ii, _) ->
+          let r = Modulo.run resource_1w1 ~cycle_model:cm g in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: heuristic %d vs optimal %d" seed
+               r.Modulo.schedule.Schedule.ii best_ii)
+            true
+            (r.Modulo.schedule.Schedule.ii <= best_ii + 1)
+    end
+  done;
+  Alcotest.(check bool) "enough samples" true (!checked > 20)
+
+let test_search_detects_infeasible () =
+  (* daxpy needs 3 bus slots per iteration: II=2 on one bus is
+     impossible, and the search must prove it. *)
+  let loop = K.daxpy () in
+  match Search.at_ii resource_1w1 ~cycle_model:cm ~ii:2 loop.Loop.ddg with
+  | Search.Infeasible -> ()
+  | Search.Feasible _ -> Alcotest.fail "II=2 cannot fit 3 memory ops on one bus"
+  | Search.Gave_up -> Alcotest.fail "budget too small for a 5-op loop"
+
+(* --- property: every schedule is legal ------------------------------------ *)
+
+let random_loop seed =
+  let rng = Wr_util.Rng.create ~seed:(Int64.of_int (seed + 1234)) in
+  Wr_workload.Generator.generate_one rng Wr_workload.Generator.default ~index:seed
+
+let gen_case =
+  QCheck.make
+    ~print:(fun (seed, xi, yi, cmi) ->
+      Printf.sprintf "(seed=%d, x=%d, y=%d, cm=%d)" seed xi yi cmi)
+    QCheck.Gen.(quad (int_bound 3000) (int_bound 3) (int_bound 3) (int_bound 3))
+
+let configs = [| (1, 1); (2, 1); (4, 1); (8, 1) |]
+
+let prop_sms_schedules_are_legal =
+  QCheck.Test.make ~name:"SMS schedules satisfy deps and resources" ~count:50 gen_case
+    (fun (seed, xi, _, _) ->
+      let x, _ = configs.(xi) in
+      let loop = random_loop seed in
+      let resource = Resource.of_config (Config.xwy ~x ~y:1 ()) in
+      let result = Modulo.run resource ~cycle_model:cm ~ordering:`Sms loop.Loop.ddg in
+      Result.is_ok (Schedule.validate loop.Loop.ddg resource result.Modulo.schedule))
+
+let prop_schedules_are_legal =
+  QCheck.Test.make ~name:"modulo schedules satisfy deps and resources" ~count:80 gen_case
+    (fun (seed, xi, yi, cmi) ->
+      let x, _ = configs.(xi) in
+      let y = 1 lsl yi in
+      let cycle_model =
+        match cmi with 0 -> Cycle_model.Cycles_1 | 1 -> Cycle_model.Cycles_2 | 2 -> Cycle_model.Cycles_3 | _ -> Cycle_model.Cycles_4
+      in
+      let loop = random_loop seed in
+      let wide, _ = Wr_widen.Transform.widen loop ~width:y in
+      let resource = Resource.of_config (Config.xwy ~x ~y ()) in
+      let result = Modulo.run resource ~cycle_model wide.Loop.ddg in
+      match Schedule.validate wide.Loop.ddg resource result.Modulo.schedule with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_ii_at_least_mii =
+  QCheck.Test.make ~name:"achieved II >= MII" ~count:80 gen_case (fun (seed, xi, _, _) ->
+      let x, _ = configs.(xi) in
+      let loop = random_loop seed in
+      let resource = Resource.of_config (Config.xwy ~x ~y:1 ()) in
+      let result = Modulo.run resource ~cycle_model:cm loop.Loop.ddg in
+      result.Modulo.schedule.Schedule.ii >= result.Modulo.mii)
+
+let prop_ii_close_to_mii =
+  QCheck.Test.make ~name:"achieved II within 2x MII (quality)" ~count:60 gen_case
+    (fun (seed, xi, _, _) ->
+      let x, _ = configs.(xi) in
+      let loop = random_loop seed in
+      let resource = Resource.of_config (Config.xwy ~x ~y:1 ()) in
+      let result = Modulo.run resource ~cycle_model:cm loop.Loop.ddg in
+      result.Modulo.schedule.Schedule.ii <= (2 * result.Modulo.mii) + 2)
+
+let prop_rec_mii_independent_of_resources =
+  QCheck.Test.make ~name:"rec_mii does not depend on the machine" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 3000))
+    (fun seed ->
+      let loop = random_loop seed in
+      let a = Mii.rec_mii ~cycle_model:cm loop.Loop.ddg in
+      let b = Mii.rec_mii ~cycle_model:cm loop.Loop.ddg in
+      a = b && a >= 1)
+
+let prop_rec_rate_bounds_rec_mii =
+  QCheck.Test.make ~name:"ceil(rec_rate) = rec_mii" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 3000))
+    (fun seed ->
+      let loop = random_loop seed in
+      let rate = Mii.rec_rate ~cycle_model:cm loop.Loop.ddg in
+      let mii = Mii.rec_mii ~cycle_model:cm loop.Loop.ddg in
+      if rate = 0.0 then mii = 1
+      else
+        (* The integer bound is the rounded-up rate (within binary
+           search tolerance). *)
+        Float.abs (ceil (rate -. 1e-6) -. float_of_int mii) <= 1.0)
+
+let () =
+  Alcotest.run "wr_sched"
+    [
+      ( "mii",
+        [
+          Alcotest.test_case "res_mii daxpy" `Quick test_res_mii_daxpy;
+          Alcotest.test_case "divide occupancy" `Quick test_res_mii_divide_occupancy;
+          Alcotest.test_case "acyclic" `Quick test_rec_mii_acyclic;
+          Alcotest.test_case "accumulator" `Quick test_rec_mii_accumulator;
+          Alcotest.test_case "divide recurrence" `Quick test_rec_mii_divide_recurrence;
+          Alcotest.test_case "faster model" `Quick test_rec_mii_under_faster_model;
+          Alcotest.test_case "distance 2" `Quick test_rec_mii_distance_2;
+        ] );
+      ( "mrt",
+        [
+          Alcotest.test_case "basic" `Quick test_mrt_basic;
+          Alcotest.test_case "occupancy wrap" `Quick test_mrt_occupancy_wrap;
+          Alcotest.test_case "negative time" `Quick test_mrt_negative_time;
+          Alcotest.test_case "over-subscription" `Quick test_mrt_over_subscription_raises;
+        ] );
+      ( "modulo",
+        [
+          Alcotest.test_case "daxpy 1w1" `Quick test_schedule_daxpy_1w1;
+          Alcotest.test_case "kernels reach MII" `Quick test_schedule_reaches_mii_on_kernels;
+          Alcotest.test_case "empty graph" `Quick test_schedule_empty_graph;
+          Alcotest.test_case "min_ii" `Quick test_schedule_min_ii;
+          Alcotest.test_case "stage count" `Quick test_schedule_stage_count;
+          Alcotest.test_case "validate detects bad" `Quick test_validate_catches_bad_schedule;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "kernels at MII" `Quick test_search_kernels_at_mii;
+          Alcotest.test_case "agrees with heuristic" `Slow test_search_agrees_with_heuristic;
+          Alcotest.test_case "detects infeasible" `Quick test_search_detects_infeasible;
+        ] );
+      ( "sms",
+        [
+          Alcotest.test_case "permutation" `Quick test_sms_order_is_permutation;
+          Alcotest.test_case "schedules kernels" `Quick test_sms_schedules_kernels;
+          Alcotest.test_case "register friendly" `Quick test_sms_register_friendly;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_schedules_are_legal;
+            prop_ii_at_least_mii;
+            prop_ii_close_to_mii;
+            prop_sms_schedules_are_legal;
+            prop_rec_mii_independent_of_resources;
+            prop_rec_rate_bounds_rec_mii;
+          ] );
+    ]

@@ -1,0 +1,188 @@
+(* Tests for wr_util: deterministic RNG, statistics, table rendering. *)
+
+module Rng = Wr_util.Rng
+module Stats = Wr_util.Stats
+module Table = Wr_util.Table
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independence () =
+  let parent = Rng.create ~seed:7L in
+  let child = Rng.split parent in
+  (* Consuming from the child must not perturb the parent's stream
+     relative to a parent that split but never used the child. *)
+  let parent' = Rng.create ~seed:7L in
+  let _child' = Rng.split parent' in
+  for _ = 1 to 10 do
+    ignore (Rng.next_int64 child)
+  done;
+  Alcotest.(check int64) "parent unaffected" (Rng.next_int64 parent') (Rng.next_int64 parent)
+
+let test_rng_int_bounds () =
+  let t = Rng.create ~seed:99L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int t 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_in () =
+  let t = Rng.create ~seed:5L in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in t (-4) 10 in
+    Alcotest.(check bool) "in closed range" true (v >= -4 && v <= 10)
+  done
+
+let test_rng_float_bounds () =
+  let t = Rng.create ~seed:11L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float t 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_bernoulli_bias () =
+  let t = Rng.create ~seed:13L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli t 0.25 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "close to 0.25" true (Float.abs (freq -. 0.25) < 0.02)
+
+let test_rng_choose_weighted () =
+  let t = Rng.create ~seed:17L in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 30_000 do
+    let v = Rng.choose_weighted t [| ("a", 1.0); ("b", 2.0); ("c", 1.0) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let freq k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. 30_000.0 in
+  Alcotest.(check bool) "b twice as likely" true (Float.abs (freq "b" -. 0.5) < 0.03);
+  Alcotest.(check bool) "a and c equal" true (Float.abs (freq "a" -. freq "c") < 0.03)
+
+let test_rng_shuffle_permutes () =
+  let t = Rng.create ~seed:23L in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_geometric_mean () =
+  let t = Rng.create ~seed:31L in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric t ~p:0.5
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  (* mean of geometric(0.5) failures-before-success = 1.0 *)
+  Alcotest.(check bool) "mean near 1" true (Float.abs (mean -. 1.0) < 0.1)
+
+let test_stats_mean_median () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [| 4.0; 1.0; 3.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |])
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_weighted_mean () =
+  Alcotest.(check (float 1e-9)) "weighted" 3.0
+    (Stats.weighted_mean [| (1.0, 1.0); (4.0, 2.0) |])
+
+let test_stats_percentile () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant has zero stddev" 0.0
+    (Stats.stddev [| 3.0; 3.0; 3.0 |]);
+  Alcotest.(check (float 1e-6)) "known stddev" 2.0 (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let test_stats_kahan_sum () =
+  (* Sum many tiny values against one big one: naive summation drifts. *)
+  let xs = Array.make 10_000_001 1e-8 in
+  xs.(0) <- 1.0e8;
+  let expected = 1.0e8 +. 0.1 in
+  Alcotest.(check (float 1e-4)) "compensated" expected (Stats.sum xs)
+
+let test_stats_errors () =
+  Alcotest.check_raises "geomean rejects zero" (Invalid_argument "Stats.geomean: non-positive value")
+    (fun () -> ignore (Stats.geomean [| 1.0; 0.0 |]));
+  Alcotest.check_raises "median empty" (Invalid_argument "Stats.median: empty array") (fun () ->
+      ignore (Stats.median [||]))
+
+let test_table_render () =
+  let s = Table.render ~headers:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "44" ] ] in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains cell" true (contains s "44")
+
+let test_table_render_missing_cells () =
+  (* A short row must render with empty padding, not raise. *)
+  let s = Table.render ~headers:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_bar_chart () =
+  let s = Table.bar_chart [ ("x", 1.0); ("y", 2.0) ] in
+  Alcotest.(check bool) "bar chart renders" true (String.length s > 0);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Table.bar_chart: negative value") (fun () ->
+      ignore (Table.bar_chart [ ("x", -1.0) ]))
+
+let test_scatter () =
+  let s = Table.scatter [ ("p1", 1.0, 2.0); ("q2", 3.0, 4.0) ] in
+  Alcotest.(check bool) "scatter renders with legend" true (String.length s > 100)
+
+let () =
+  Alcotest.run "wr_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli bias" `Quick test_rng_bernoulli_bias;
+          Alcotest.test_case "choose_weighted" `Quick test_rng_choose_weighted;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "weighted mean" `Quick test_stats_weighted_mean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "kahan sum" `Quick test_stats_kahan_sum;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "missing cells" `Quick test_table_render_missing_cells;
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+          Alcotest.test_case "scatter" `Quick test_scatter;
+        ] );
+    ]

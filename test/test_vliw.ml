@@ -1,0 +1,567 @@
+(* Tests for wr_vliw.Interp and the functional correctness of the
+   compiler transforms: widening, unrolling and spilling must preserve
+   the loop's memory semantics bit-for-bit. *)
+
+module Ddg = Wr_ir.Ddg
+module Loop = Wr_ir.Loop
+module Operation = Wr_ir.Operation
+module B = Wr_ir.Builder
+module Interp = Wr_vliw.Interp
+module Transform = Wr_widen.Transform
+module Spill = Wr_regalloc.Spill
+module K = Wr_workload.Kernels
+
+(* --- direct interpreter checks ------------------------------------------- *)
+
+let test_interp_vector_scale () =
+  (* b(i) = s * a(i): every output word must be s * initial(a, i). *)
+  let loop = K.vector_scale () in
+  let r = Interp.run ~iterations:5 loop in
+  Alcotest.(check int) "five stores" 5 (List.length r.Interp.memory);
+  (* All outputs are products of two values in [1,2): in [1,4). *)
+  List.iter
+    (fun ((arr, addr), v) ->
+      Alcotest.(check int) "output array" 1 arr;
+      Alcotest.(check bool) "address in range" true (addr >= 0 && addr < 5);
+      Alcotest.(check bool) "value in range" true (v >= 1.0 && v < 4.0))
+    r.Interp.memory
+
+let test_interp_counts () =
+  let loop = K.daxpy () in
+  let r = Interp.run ~iterations:10 loop in
+  (* 2 loads + 1 store per iteration, 2 flops. *)
+  Alcotest.(check int) "loads" 20 r.Interp.loads;
+  Alcotest.(check int) "stores" 10 r.Interp.stores;
+  Alcotest.(check int) "flops" 20 r.Interp.flops
+
+let test_interp_recurrence_accumulates () =
+  (* x(i) = x(i-1) + y(i) with x(-1) = prehistory: the stored prefix
+     sums must be strictly increasing (all y > 0). *)
+  let loop = K.linear_recurrence () in
+  let r = Interp.run ~iterations:8 loop in
+  let outputs = List.map snd r.Interp.memory in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "increasing" true (b > a);
+        check rest
+    | _ -> ()
+  in
+  check outputs;
+  (* First value = prehistory + y(0) > prehistory. *)
+  Alcotest.(check bool) "starts above prehistory" true (List.hd outputs > Interp.prehistory)
+
+let test_interp_negative_offset_prehistory () =
+  (* load A0[i-1] at i=0 reads address -1: the prehistory constant. *)
+  let b = B.create () in
+  let x = B.load b ~array_id:0 ~offset:(-1) () in
+  B.store b ~array_id:1 () (B.fcopy b x);
+  let loop = B.finish b ~trip_count:4 () in
+  let r = Interp.run ~iterations:1 loop in
+  match r.Interp.memory with
+  | [ ((1, 0), v) ] -> Alcotest.(check (float 0.0)) "prehistory" Interp.prehistory v
+  | _ -> Alcotest.fail "expected exactly one store"
+
+let test_interp_deterministic () =
+  let loop = K.state_equation () in
+  let a = Interp.run ~iterations:16 loop in
+  let b = Interp.run ~iterations:16 loop in
+  Alcotest.(check bool) "same memory" true (Interp.equal_memory a b)
+
+let test_interp_store_load_ordering () =
+  (* store A0[i] then load A0[i] in the same iteration: the load must
+     see the stored value (read-modify-write chains). *)
+  let b = B.create () in
+  let x = B.load b ~array_id:1 () in
+  B.store b ~array_id:0 () x;
+  let y = B.load b ~array_id:0 () in
+  B.store b ~array_id:2 () (B.fcopy b y);
+  let loop = B.finish b ~trip_count:3 () in
+  let r = Interp.run ~iterations:3 loop in
+  let find arr addr = List.assoc (arr, addr) r.Interp.memory in
+  for i = 0 to 2 do
+    Alcotest.(check (float 0.0)) "load saw store" (find 0 i) (find 2 i)
+  done
+
+(* --- transform equivalence ------------------------------------------------ *)
+
+let check_equiv ?(label = "") original transformed ~factor ~iterations =
+  let ref_result = Interp.run ~iterations:(iterations * factor) original in
+  let got = Interp.run ~iterations transformed in
+  let arrays = Interp.arrays_of original in
+  let got = Interp.restrict got ~arrays in
+  let ref_result = Interp.restrict ref_result ~arrays in
+  if not (Interp.equal_memory ref_result got) then begin
+    let diffs = Interp.diff_memory ref_result got in
+    let show ((a, ad), l, r) =
+      Printf.sprintf "A%d[%d]: ref=%s got=%s" a ad
+        (match l with Some v -> string_of_float v | None -> "-")
+        (match r with Some v -> string_of_float v | None -> "-")
+    in
+    Alcotest.fail
+      (Printf.sprintf "%s: %d differing locations; first: %s" label (List.length diffs)
+         (match diffs with d :: _ -> show d | [] -> "?"))
+  end
+
+let test_widen_equiv_kernels () =
+  List.iter
+    (fun (name, loop) ->
+      List.iter
+        (fun y ->
+          let wide, _ = Transform.widen loop ~width:y in
+          check_equiv ~label:(Printf.sprintf "%s@w%d" name y) loop wide ~factor:y
+            ~iterations:6)
+        [ 2; 4; 8 ])
+    (K.all ())
+
+let test_unroll_equiv_kernels () =
+  List.iter
+    (fun (name, loop) ->
+      List.iter
+        (fun k ->
+          let u = Transform.unroll loop ~factor:k in
+          check_equiv ~label:(Printf.sprintf "%s@u%d" name k) loop u ~factor:k ~iterations:5)
+        [ 2; 3; 4 ])
+    (K.all ())
+
+let test_widen_then_unroll_equiv () =
+  List.iter
+    (fun (name, loop) ->
+      let wide, _ = Transform.widen loop ~width:2 in
+      let wu = Transform.unroll wide ~factor:3 in
+      check_equiv ~label:(name ^ "@w2u3") loop wu ~factor:6 ~iterations:4)
+    (K.all ())
+
+let test_spill_equiv_kernels () =
+  List.iter
+    (fun (name, loop) ->
+      let g = loop.Loop.ddg in
+      (* Spill every spillable defined register (harshest case). *)
+      let vregs =
+        List.filter_map
+          (fun (o : Operation.t) ->
+            match o.Operation.def with
+            | Some r when Ddg.users g r <> [] -> Some r
+            | _ -> None)
+          (Array.to_list (Ddg.ops g))
+      in
+      if vregs <> [] then begin
+        let res = Spill.apply g ~vregs in
+        let spilled =
+          Loop.make ~name:(name ^ "@spill") ~ddg:res.Spill.graph
+            ~trip_count:loop.Loop.trip_count ()
+        in
+        check_equiv ~label:(name ^ "@spill-all") loop spilled ~factor:1 ~iterations:8
+      end)
+    (K.all ())
+
+(* --- property tests over the generator ------------------------------------ *)
+
+let random_loop seed =
+  let rng = Wr_util.Rng.create ~seed:(Int64.of_int (seed + 31337)) in
+  Wr_workload.Generator.generate_one rng Wr_workload.Generator.default ~index:seed
+
+let gen_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 2500)
+
+let prop_widen_preserves_semantics =
+  QCheck.Test.make ~name:"widen preserves memory semantics" ~count:40 gen_seed (fun seed ->
+      let loop = random_loop seed in
+      List.for_all
+        (fun y ->
+          let wide, _ = Transform.widen loop ~width:y in
+          let arrays = Interp.arrays_of loop in
+          let a = Interp.restrict (Interp.run ~iterations:(4 * y) loop) ~arrays in
+          let b = Interp.restrict (Interp.run ~iterations:4 wide) ~arrays in
+          Interp.equal_memory a b)
+        [ 2; 4 ])
+
+let prop_unroll_preserves_semantics =
+  QCheck.Test.make ~name:"unroll preserves memory semantics" ~count:40 gen_seed (fun seed ->
+      let loop = random_loop seed in
+      let u = Transform.unroll loop ~factor:3 in
+      let arrays = Interp.arrays_of loop in
+      let a = Interp.restrict (Interp.run ~iterations:12 loop) ~arrays in
+      let b = Interp.restrict (Interp.run ~iterations:4 u) ~arrays in
+      Interp.equal_memory a b)
+
+let prop_spill_preserves_semantics =
+  QCheck.Test.make ~name:"spilling preserves memory semantics" ~count:40 gen_seed (fun seed ->
+      let loop = random_loop seed in
+      let g = loop.Loop.ddg in
+      (* Spill the three longest-named (deterministic) candidates. *)
+      let vregs =
+        List.filteri (fun i _ -> i < 3)
+          (List.filter_map
+             (fun (o : Operation.t) ->
+               match o.Operation.def with
+               | Some r when Ddg.users g r <> [] -> Some r
+               | _ -> None)
+             (Array.to_list (Ddg.ops g)))
+      in
+      if vregs = [] then true
+      else begin
+        let res = Spill.apply g ~vregs in
+        let spilled =
+          Loop.make ~name:"spilled" ~ddg:res.Spill.graph ~trip_count:loop.Loop.trip_count ()
+        in
+        let arrays = Interp.arrays_of loop in
+        let a = Interp.restrict (Interp.run ~iterations:10 loop) ~arrays in
+        let b = Interp.restrict (Interp.run ~iterations:10 spilled) ~arrays in
+        Interp.equal_memory a b
+      end)
+
+let prop_widen_spill_compose =
+  QCheck.Test.make ~name:"widen then spill preserves semantics" ~count:25 gen_seed
+    (fun seed ->
+      let loop = random_loop seed in
+      let wide, _ = Transform.widen loop ~width:2 in
+      let g = wide.Loop.ddg in
+      let vregs =
+        List.filteri (fun i _ -> i < 2)
+          (List.filter_map
+             (fun (o : Operation.t) ->
+               match o.Operation.def with
+               | Some r when Ddg.users g r <> [] -> Some r
+               | _ -> None)
+             (Array.to_list (Ddg.ops g)))
+      in
+      let final =
+        if vregs = [] then wide
+        else
+          Loop.make ~name:"ws" ~ddg:(Spill.apply g ~vregs).Spill.graph
+            ~trip_count:wide.Loop.trip_count ()
+      in
+      let arrays = Interp.arrays_of loop in
+      let a = Interp.restrict (Interp.run ~iterations:12 loop) ~arrays in
+      let b = Interp.restrict (Interp.run ~iterations:6 final) ~arrays in
+      Interp.equal_memory a b)
+
+(* --- codegen + cycle-level simulation -------------------------------------- *)
+
+module Codegen = Wr_vliw.Codegen
+module Sim = Wr_vliw.Sim
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Schedule = Wr_sched.Schedule
+
+let schedule_for loop (c : Config.t) =
+  let wide, _ = Transform.widen loop ~width:c.Config.width in
+  let g = wide.Loop.ddg in
+  let r = Wr_sched.Modulo.run (Resource.of_config c) ~cycle_model:Cycle_model.Cycles_4 g in
+  (wide, g, r.Wr_sched.Modulo.schedule)
+
+let test_codegen_mve_periods () =
+  let loop = K.daxpy () in
+  let _, g, s = schedule_for loop (Config.xwy ~x:1 ~y:1 ()) in
+  let a = Codegen.allocate g s in
+  (* Every period is a power of two dividing the unroll degree. *)
+  Array.iter
+    (fun p ->
+      if p > 0 then
+        Alcotest.(check int) "period divides unroll" 0 (a.Codegen.unroll mod p))
+    a.Codegen.period;
+  Alcotest.(check bool) "needs registers" true (a.Codegen.total_registers > 0)
+
+let test_codegen_mve_vs_wands () =
+  (* The conventional-file MVE assignment can never beat the rotating
+     file's wands requirement, and stays within its 2x bound plus
+     live-ins. *)
+  List.iter
+    (fun (_, loop) ->
+      let _, g, s = schedule_for loop (Config.xwy ~x:2 ~y:1 ()) in
+      let a = Codegen.allocate g s in
+      let lts = Wr_regalloc.Lifetime.of_schedule g s in
+      let wands = Wr_regalloc.Alloc.allocate ~ii:s.Schedule.ii lts in
+      let live_ins = a.Codegen.total_registers - a.Codegen.live_in_base in
+      let mve_variants = a.Codegen.live_in_base in
+      Alcotest.(check bool) "mve >= wands" true
+        (mve_variants >= wands.Wr_regalloc.Alloc.required);
+      Alcotest.(check bool) "mve within 2x + slack" true
+        (mve_variants <= (2 * wands.Wr_regalloc.Alloc.required) + live_ins + 4))
+    (K.all ())
+
+let test_codegen_emit () =
+  let loop = K.daxpy () in
+  let cfg = Config.xwy ~x:2 ~y:2 () in
+  let _, g, s = schedule_for loop cfg in
+  let a = Codegen.allocate g s in
+  let text = Codegen.emit g s a cfg in
+  Alcotest.(check bool) "mentions kernel" true (String.length text > 100);
+  let counts = Codegen.word_counts g s a cfg in
+  Alcotest.(check int) "kernel words" (a.Codegen.unroll * s.Schedule.ii)
+    counts.Codegen.kernel_words;
+  Alcotest.(check bool) "some slots filled" true (counts.Codegen.filled_slots > 0)
+
+let test_sim_kernels_end_to_end () =
+  (* The gold check: schedule + MVE + cycle simulation reproduces the
+     reference interpreter exactly, for every kernel on several
+     machines. *)
+  List.iter
+    (fun (name, loop) ->
+      List.iter
+        (fun (x, y) ->
+          let cfg = Config.xwy ~x ~y () in
+          match Sim.check_against_reference loop cfg ~iterations:7 with
+          | Ok sim ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s on %s issued work" name (Config.label_short cfg))
+                true
+                (sim.Sim.issued > 0 && sim.Sim.cycles >= sim.Sim.kernel_cycles)
+          | Error msg ->
+              Alcotest.fail (Printf.sprintf "%s on %s: %s" name (Config.label_short cfg) msg))
+        [ (1, 1); (2, 1); (1, 2); (4, 2); (2, 4) ])
+    (K.all ())
+
+let test_sim_cycle_accounting () =
+  let loop = K.daxpy () in
+  let cfg = Config.xwy ~x:1 ~y:1 () in
+  let _, g, s = schedule_for loop cfg in
+  let a = Sim.mve_mapping (Codegen.allocate g s) in
+  let iterations = 50 in
+  let sim = Sim.run g s a cfg ~iterations in
+  (* Total cycles = fill + steady state + drain: within span + latency
+     of the II * iterations model. *)
+  Alcotest.(check bool) "cycles close to II*N" true
+    (sim.Sim.cycles >= s.Schedule.ii * iterations
+    && sim.Sim.cycles <= (s.Schedule.ii * iterations) + Schedule.span s + 8);
+  Alcotest.(check int) "all instances issued" (5 * iterations) sim.Sim.issued
+
+let test_sim_detects_oversubscription () =
+  (* Feed the simulator an illegal schedule: everything at cycle 0. *)
+  let loop = K.daxpy () in
+  let cfg = Config.xwy ~x:1 ~y:1 () in
+  let _, g, s = schedule_for loop cfg in
+  let times = Array.map (fun _ -> 0) s.Schedule.times in
+  let bad = Schedule.make ~ii:s.Schedule.ii ~times ~cycle_model:s.Schedule.cycle_model in
+  let a = Sim.mve_mapping (Codegen.allocate g bad) in
+  Alcotest.(check bool) "hazard raised" true
+    (try
+       ignore (Sim.run g bad a cfg ~iterations:3);
+       false
+     with Sim.Hazard _ -> true)
+
+(* --- rotating register file ------------------------------------------------ *)
+
+module Rotating = Wr_vliw.Rotating
+
+let test_rotating_requirement_bounds () =
+  List.iter
+    (fun (name, loop) ->
+      let _, g, s = schedule_for loop (Config.xwy ~x:2 ~y:1 ()) in
+      let a = Rotating.allocate g s in
+      let lb = Rotating.lower_bound g s in
+      let lts = Wr_regalloc.Lifetime.of_schedule g s in
+      let wands = Wr_regalloc.Alloc.allocate ~ii:s.Schedule.ii lts in
+      Alcotest.(check bool) (name ^ " above occupancy bound") true
+        (a.Rotating.num_rotating >= lb);
+      (* The spiral packer and the wands model price the same hardware:
+         they must land within a few registers of each other. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rotating=%d ~ wands=%d" name a.Rotating.num_rotating
+           wands.Wr_regalloc.Alloc.required)
+        true
+        (abs (a.Rotating.num_rotating - wands.Wr_regalloc.Alloc.required) <= 6))
+    (K.all ())
+
+let test_rotating_end_to_end () =
+  (* The rotating assignment must execute correctly: same gold check as
+     MVE but with hardware renaming. *)
+  List.iter
+    (fun (name, loop) ->
+      List.iter
+        (fun (x, y) ->
+          let cfg = Config.xwy ~x ~y () in
+          match Sim.check_against_reference ~file:`Rotating loop cfg ~iterations:7 with
+          | Ok _ -> ()
+          | Error msg ->
+              Alcotest.fail (Printf.sprintf "%s on %s: %s" name (Config.label_short cfg) msg))
+        [ (1, 1); (2, 1); (2, 2); (4, 2) ])
+    (K.all ())
+
+let test_rotating_fewer_registers_than_mve () =
+  (* On loop variants the rotating file never needs more registers than
+     MVE's power-of-two blocks. *)
+  List.iter
+    (fun (_, loop) ->
+      let _, g, s = schedule_for loop (Config.xwy ~x:4 ~y:1 ()) in
+      let rot = Rotating.allocate g s in
+      let mve = Codegen.allocate g s in
+      (* First-fit at schedule-fixed slots can fragment slightly, but
+         the rotating file must stay in the same ballpark or below the
+         power-of-two MVE blocks. *)
+      Alcotest.(check bool) "rotating <= mve + 2" true
+        (rot.Rotating.num_rotating <= mve.Codegen.live_in_base + 2))
+    (K.all ())
+
+let prop_perturbed_schedules_sound =
+  (* Failure injection: jitter one operation's issue time.  If the
+     validator still accepts the schedule, executing it must still be
+     correct — i.e. Schedule.validate is sound, not merely a syntactic
+     check. *)
+  QCheck.Test.make ~name:"validated perturbed schedules still execute correctly" ~count:60
+    (QCheck.pair gen_seed (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000)))
+    (fun (seed, jitter_seed) ->
+      let loop = random_loop seed in
+      let cfg = Config.xwy ~x:2 ~y:1 () in
+      let wide, _ = Transform.widen loop ~width:1 in
+      let g = wide.Loop.ddg in
+      let resource = Resource.of_config cfg in
+      let r = Wr_sched.Modulo.run resource ~cycle_model:Cycle_model.Cycles_4 g in
+      let s = r.Wr_sched.Modulo.schedule in
+      let n = Array.length s.Schedule.times in
+      if n = 0 then true
+      else begin
+        let rng = Wr_util.Rng.create ~seed:(Int64.of_int (jitter_seed + 999)) in
+        let times = Array.copy s.Schedule.times in
+        let victim = Wr_util.Rng.int rng n in
+        times.(victim) <- Stdlib.max 0 (times.(victim) + Wr_util.Rng.int_in rng (-3) 3);
+        let mutated = Schedule.make ~ii:s.Schedule.ii ~times ~cycle_model:Cycle_model.Cycles_4 in
+        match Schedule.validate g resource mutated with
+        | Error _ -> true  (* correctly rejected *)
+        | Ok () -> (
+            (* Accepted: executing it must match the reference. *)
+            let alloc = Sim.mve_mapping (Codegen.allocate g mutated) in
+            match Sim.run g mutated alloc cfg ~iterations:5 with
+            | exception Sim.Hazard _ -> false
+            | sim ->
+                let reference = Interp.run ~iterations:5 wide in
+                let sim_image =
+                  { Interp.memory = sim.Sim.memory; loads = 0; stores = 0; flops = 0 }
+                in
+                Interp.equal_memory reference sim_image)
+      end)
+
+let prop_rotating_sim_matches_reference =
+  QCheck.Test.make ~name:"rotating-file simulation matches the reference" ~count:30 gen_seed
+    (fun seed ->
+      let loop = random_loop seed in
+      match
+        Sim.check_against_reference ~file:`Rotating loop (Config.xwy ~x:2 ~y:2 ())
+          ~iterations:5
+      with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let prop_sim_matches_reference =
+  QCheck.Test.make ~name:"simulation matches the reference interpreter" ~count:30 gen_seed
+    (fun seed ->
+      let loop = random_loop seed in
+      let cfg = Config.xwy ~x:2 ~y:2 () in
+      match Sim.check_against_reference loop cfg ~iterations:5 with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let test_interp_total_on_suite () =
+  (* The interpreter must execute every suite loop without raising —
+     totality of the semantics over the whole workload. *)
+  Array.iter
+    (fun (l : Loop.t) -> ignore (Interp.run ~iterations:3 l))
+    (Wr_workload.Suite.sample 200)
+
+(* --- data cache --------------------------------------------------------------- *)
+
+module Dcache = Wr_vliw.Dcache
+
+let test_dcache_stride1_reuse () =
+  (* A scalar stride-1 load stream with 32-byte lines: one miss per 4
+     words. *)
+  let loop = K.vector_scale () in
+  let cfg = Config.xwy ~x:1 ~y:1 () in
+  let _, g, s = schedule_for loop cfg in
+  let cache = Dcache.make ~size_bytes:16384 () in
+  let st = Dcache.replay cache g s ~iterations:128 in
+  let rate = Dcache.miss_rate st in
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f ~ 0.25" rate) true
+    (rate > 0.2 && rate < 0.35)
+
+let test_dcache_wide_access_fewer_transactions () =
+  let loop = K.vector_scale () in
+  let count y =
+    let cfg = Config.xwy ~x:1 ~y () in
+    let _, g, s = schedule_for loop cfg in
+    let cache = Dcache.make ~size_bytes:16384 () in
+    (* One wide iteration covers y source iterations. *)
+    (Dcache.replay cache g s ~iterations:(128 / y)).Dcache.accesses
+  in
+  let scalar = count 1 and wide = count 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "wide %d < scalar %d transactions" wide scalar)
+    true (wide < scalar);
+  (* A 4-word access can straddle two 32-byte lines when the staggered
+     array base is unaligned, so the reduction is 2-4x. *)
+  Alcotest.(check bool) "at least 2x fewer" true (scalar / wide >= 2)
+
+let test_dcache_same_words_moved () =
+  let loop = K.daxpy () in
+  let words y =
+    let cfg = Config.xwy ~x:1 ~y () in
+    let _, g, s = schedule_for loop cfg in
+    let cache = Dcache.make ~size_bytes:16384 () in
+    (Dcache.replay cache g s ~iterations:(64 / y)).Dcache.words
+  in
+  Alcotest.(check int) "same data volume" (words 1) (words 2)
+
+let test_dcache_validation () =
+  Alcotest.(check bool) "non-pow2 rejected" true
+    (try
+       ignore (Dcache.make ~size_bytes:1000 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "wr_vliw"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "vector scale" `Quick test_interp_vector_scale;
+          Alcotest.test_case "counts" `Quick test_interp_counts;
+          Alcotest.test_case "recurrence" `Quick test_interp_recurrence_accumulates;
+          Alcotest.test_case "prehistory" `Quick test_interp_negative_offset_prehistory;
+          Alcotest.test_case "deterministic" `Quick test_interp_deterministic;
+          Alcotest.test_case "store/load order" `Quick test_interp_store_load_ordering;
+          Alcotest.test_case "total on suite" `Slow test_interp_total_on_suite;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "widen kernels" `Quick test_widen_equiv_kernels;
+          Alcotest.test_case "unroll kernels" `Quick test_unroll_equiv_kernels;
+          Alcotest.test_case "widen+unroll" `Quick test_widen_then_unroll_equiv;
+          Alcotest.test_case "spill kernels" `Quick test_spill_equiv_kernels;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "mve periods" `Quick test_codegen_mve_periods;
+          Alcotest.test_case "mve vs wands" `Quick test_codegen_mve_vs_wands;
+          Alcotest.test_case "emit" `Quick test_codegen_emit;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "kernels end-to-end" `Quick test_sim_kernels_end_to_end;
+          Alcotest.test_case "cycle accounting" `Quick test_sim_cycle_accounting;
+          Alcotest.test_case "oversubscription hazard" `Quick test_sim_detects_oversubscription;
+        ] );
+      ( "dcache",
+        [
+          Alcotest.test_case "stride-1 reuse" `Quick test_dcache_stride1_reuse;
+          Alcotest.test_case "wide transactions" `Quick test_dcache_wide_access_fewer_transactions;
+          Alcotest.test_case "data volume" `Quick test_dcache_same_words_moved;
+          Alcotest.test_case "validation" `Quick test_dcache_validation;
+        ] );
+      ( "rotating",
+        [
+          Alcotest.test_case "requirement bounds" `Quick test_rotating_requirement_bounds;
+          Alcotest.test_case "end-to-end" `Quick test_rotating_end_to_end;
+          Alcotest.test_case "vs MVE" `Quick test_rotating_fewer_registers_than_mve;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_widen_preserves_semantics;
+            prop_unroll_preserves_semantics;
+            prop_spill_preserves_semantics;
+            prop_widen_spill_compose;
+            prop_sim_matches_reference;
+            prop_rotating_sim_matches_reference;
+            prop_perturbed_schedules_sound;
+          ] );
+    ]

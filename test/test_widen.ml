@@ -1,0 +1,269 @@
+(* Tests for wr_widen: compactability analysis and the widening /
+   unrolling transforms. *)
+
+module Ddg = Wr_ir.Ddg
+module Loop = Wr_ir.Loop
+module Operation = Wr_ir.Operation
+module Opcode = Wr_ir.Opcode
+module Dependence = Wr_ir.Dependence
+module Compact = Wr_widen.Compact
+module Transform = Wr_widen.Transform
+module K = Wr_workload.Kernels
+
+let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+(* --- compactability on known kernels ------------------------------------ *)
+
+let test_compact_daxpy_all () =
+  let loop = K.daxpy () in
+  let a = Compact.analyze loop.Loop.ddg in
+  Alcotest.(check int) "all 5 compactable" 5 a.Compact.num_compactable
+
+let test_compact_dot_product () =
+  (* loads and multiply pack; the accumulator chain does not. *)
+  let loop = K.dot_product () in
+  let a = Compact.analyze loop.Loop.ddg in
+  Alcotest.(check int) "3 of 4" 3 a.Compact.num_compactable;
+  Alcotest.(check int) "one on cycle" 1 (count_true a.Compact.on_cycle)
+
+let test_compact_strided_gather () =
+  (* The stride-2 load cannot pack; neither can the multiply-add chain
+     fed by it (producer closure), nor the store of that chain. *)
+  let loop = K.strided_gather () in
+  let a = Compact.analyze loop.Loop.ddg in
+  let g = loop.Loop.ddg in
+  Array.iter
+    (fun (o : Operation.t) ->
+      match o.Operation.mem with
+      | Some m when m.Wr_ir.Memref.stride = 2 ->
+          Alcotest.(check bool) "strided load not compactable" false
+            a.Compact.compactable.(o.Operation.id)
+      | _ -> ())
+    (Ddg.ops g);
+  Alcotest.(check bool) "some ops still compactable" true (a.Compact.num_compactable >= 1)
+
+let test_compact_recurrence_chain () =
+  (* tridiag: x(i) = z(i)*(y(i)-x(i-1)).  The whole multiply/subtract
+     chain is on the cycle; the loads are compactable, the store reads
+     the recurrence so it is not. *)
+  let loop = K.tridiag_elimination () in
+  let a = Compact.analyze loop.Loop.ddg in
+  Alcotest.(check int) "loads only" 2 a.Compact.num_compactable
+
+let test_compact_closure_through_producers () =
+  (* A store fed by a non-compactable value must not pack even if it is
+     itself stride-1 and off-cycle. *)
+  let loop = K.linear_recurrence () in
+  let a = Compact.analyze loop.Loop.ddg in
+  let g = loop.Loop.ddg in
+  Array.iter
+    (fun (o : Operation.t) ->
+      if o.Operation.opcode = Opcode.Store then
+        Alcotest.(check bool) "store of recurrence not compactable" false
+          a.Compact.compactable.(o.Operation.id))
+    (Ddg.ops g)
+
+let test_compact_fraction () =
+  let loop = K.daxpy () in
+  let a = Compact.analyze loop.Loop.ddg in
+  Alcotest.(check (float 1e-9)) "fraction" 1.0 (Compact.fraction a)
+
+(* --- widen --------------------------------------------------------------- *)
+
+let test_widen_width1_identity () =
+  let loop = K.daxpy () in
+  let loop', stats = Transform.widen loop ~width:1 in
+  Alcotest.(check bool) "same loop" true (loop == loop');
+  Alcotest.(check int) "stats width" 1 stats.Transform.width
+
+let test_widen_daxpy_counts () =
+  let loop = K.daxpy () in
+  let wide, stats = Transform.widen loop ~width:4 in
+  (* Fully compactable: same op count, all wide. *)
+  Alcotest.(check int) "ops unchanged" 5 (Ddg.num_ops wide.Loop.ddg);
+  Alcotest.(check int) "packed" 5 stats.Transform.compactable_ops;
+  Array.iter
+    (fun (o : Operation.t) -> Alcotest.(check int) "4 lanes" 4 o.Operation.lanes)
+    (Ddg.ops wide.Loop.ddg);
+  Alcotest.(check int) "trip divided" 250 wide.Loop.trip_count
+
+let test_widen_dot_counts () =
+  let loop = K.dot_product () in
+  let wide, stats = Transform.widen loop ~width:4 in
+  (* 3 packed + the accumulator replicated 4x. *)
+  Alcotest.(check int) "ops" 7 (Ddg.num_ops wide.Loop.ddg);
+  Alcotest.(check int) "scalar copies" 4 stats.Transform.scalar_copies
+
+let test_widen_memref_scaling () =
+  let loop = K.daxpy () in
+  let wide, _ = Transform.widen loop ~width:8 in
+  Array.iter
+    (fun (o : Operation.t) ->
+      match o.Operation.mem with
+      | Some m -> Alcotest.(check int) "stride widened" 8 m.Wr_ir.Memref.stride
+      | None -> ())
+    (Ddg.ops wide.Loop.ddg)
+
+let test_widen_preserves_weight () =
+  let loop = K.daxpy () in
+  let wide, _ = Transform.widen loop ~width:2 in
+  Alcotest.(check (float 1e-9)) "weight" loop.Loop.weight wide.Loop.weight
+
+let test_widen_recurrence_copies_serialized () =
+  (* The 4 copies of the accumulator must form a chain: distance-карried
+     edges link them so RecMII scales with the width. *)
+  let loop = K.linear_recurrence () in
+  let wide, _ = Transform.widen loop ~width:4 in
+  let cm = Wr_machine.Cycle_model.Cycles_4 in
+  let rate_orig = Wr_sched.Mii.rec_rate ~cycle_model:cm loop.Loop.ddg in
+  let rate_wide = Wr_sched.Mii.rec_rate ~cycle_model:cm wide.Loop.ddg in
+  (* Per wide iteration the recurrence advances 4 source iterations. *)
+  Alcotest.(check (float 0.26)) "rate x4" (4.0 *. rate_orig) rate_wide
+
+(* --- unroll -------------------------------------------------------------- *)
+
+let test_unroll_identity () =
+  let loop = K.daxpy () in
+  Alcotest.(check bool) "factor 1 identity" true (Transform.unroll loop ~factor:1 == loop)
+
+let test_unroll_counts () =
+  let loop = K.daxpy () in
+  let u = Transform.unroll loop ~factor:3 in
+  Alcotest.(check int) "ops x3" 15 (Ddg.num_ops u.Loop.ddg);
+  Alcotest.(check int) "trip /3" 334 u.Loop.trip_count
+
+let test_unroll_offsets () =
+  let loop = K.vector_scale () in
+  let u = Transform.unroll loop ~factor:2 in
+  let offsets =
+    Array.to_list (Ddg.ops u.Loop.ddg)
+    |> List.filter_map (fun (o : Operation.t) ->
+           if o.Operation.opcode = Opcode.Load then
+             Option.map (fun m -> m.Wr_ir.Memref.offset) o.Operation.mem
+           else None)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "copy offsets" [ 0; 1 ] offsets
+
+let test_unroll_recurrence_distance () =
+  (* A distance-1 recurrence unrolled by 4 becomes a chain whose
+     wrap-around edge has distance 1 in the unrolled graph. *)
+  let loop = K.linear_recurrence () in
+  let u = Transform.unroll loop ~factor:4 in
+  Alcotest.(check bool) "still a recurrence" true (Ddg.has_recurrence u.Loop.ddg);
+  let cm = Wr_machine.Cycle_model.Cycles_4 in
+  let rate = Wr_sched.Mii.rec_rate ~cycle_model:cm u.Loop.ddg in
+  Alcotest.(check (float 0.01)) "rate x4 per unrolled iter" (4.0 *. 4.0) rate
+
+(* --- property tests ------------------------------------------------------ *)
+
+let random_loop seed =
+  let rng = Wr_util.Rng.create ~seed:(Int64.of_int (seed + 77)) in
+  Wr_workload.Generator.generate_one rng Wr_workload.Generator.default ~index:seed
+
+let gen_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 5_000)
+
+let widths = [| 2; 4; 8 |]
+
+let prop_widen_valid_graphs =
+  QCheck.Test.make ~name:"widened graphs pass validation" ~count:50 gen_seed (fun seed ->
+      let loop = random_loop seed in
+      Array.for_all
+        (fun w ->
+          let wide, _ = Transform.widen loop ~width:w in
+          let g = wide.Loop.ddg in
+          (* Revalidation happens inside Ddg.create; also check lane
+             bounds. *)
+          Array.for_all (fun (o : Operation.t) -> o.Operation.lanes = 1 || o.Operation.lanes = w)
+            (Ddg.ops g))
+        widths)
+
+let prop_widen_op_accounting =
+  QCheck.Test.make ~name:"widened op counts = packed + scalar copies" ~count:50 gen_seed
+    (fun seed ->
+      let loop = random_loop seed in
+      Array.for_all
+        (fun w ->
+          let wide, stats = Transform.widen loop ~width:w in
+          Ddg.num_ops wide.Loop.ddg = stats.Transform.wide_ops
+          && stats.Transform.wide_ops
+             = stats.Transform.compactable_ops + stats.Transform.scalar_copies)
+        widths)
+
+let prop_widen_scalar_work_preserved =
+  QCheck.Test.make ~name:"scalar work per source iteration is preserved" ~count:50 gen_seed
+    (fun seed ->
+      let loop = random_loop seed in
+      let scalar_work g =
+        Ddg.scalar_count_class g Opcode.Bus + Ddg.scalar_count_class g Opcode.Fpu
+      in
+      let base = scalar_work loop.Loop.ddg in
+      Array.for_all
+        (fun w ->
+          let wide, _ = Transform.widen loop ~width:w in
+          (* A wide iteration covers w source iterations. *)
+          scalar_work wide.Loop.ddg = base * w)
+        widths)
+
+let prop_widen_rec_rate_preserved =
+  QCheck.Test.make ~name:"recurrence rate per source iteration survives widening" ~count:30
+    gen_seed (fun seed ->
+      let loop = random_loop seed in
+      let cm = Wr_machine.Cycle_model.Cycles_4 in
+      let base = Wr_sched.Mii.rec_rate ~cycle_model:cm loop.Loop.ddg in
+      let wide, _ = Transform.widen loop ~width:4 in
+      let rate = Wr_sched.Mii.rec_rate ~cycle_model:cm wide.Loop.ddg /. 4.0 in
+      (* Packing can only relax padding, never beat the recurrence
+         bound; rate stays within [base - eps, base + small]. *)
+      rate >= base -. 1e-6 || Float.abs (rate -. base) < 0.5)
+
+let prop_unroll_equals_widen_on_noncompactable =
+  QCheck.Test.make ~name:"unroll matches widen for the scalar copies" ~count:30 gen_seed
+    (fun seed ->
+      let loop = random_loop seed in
+      let u = Transform.unroll loop ~factor:2 in
+      let wide, _ = Transform.widen loop ~width:2 in
+      (* Unrolled graph has exactly 2x the ops; widened has between
+         1x and 2x. *)
+      Ddg.num_ops u.Loop.ddg = 2 * Ddg.num_ops loop.Loop.ddg
+      && Ddg.num_ops wide.Loop.ddg <= Ddg.num_ops u.Loop.ddg
+      && Ddg.num_ops wide.Loop.ddg >= Ddg.num_ops loop.Loop.ddg)
+
+let () =
+  Alcotest.run "wr_widen"
+    [
+      ( "compact",
+        [
+          Alcotest.test_case "daxpy fully compactable" `Quick test_compact_daxpy_all;
+          Alcotest.test_case "dot product" `Quick test_compact_dot_product;
+          Alcotest.test_case "strided gather" `Quick test_compact_strided_gather;
+          Alcotest.test_case "recurrence chain" `Quick test_compact_recurrence_chain;
+          Alcotest.test_case "producer closure" `Quick test_compact_closure_through_producers;
+          Alcotest.test_case "fraction" `Quick test_compact_fraction;
+        ] );
+      ( "widen",
+        [
+          Alcotest.test_case "width 1 identity" `Quick test_widen_width1_identity;
+          Alcotest.test_case "daxpy counts" `Quick test_widen_daxpy_counts;
+          Alcotest.test_case "dot counts" `Quick test_widen_dot_counts;
+          Alcotest.test_case "memref scaling" `Quick test_widen_memref_scaling;
+          Alcotest.test_case "weight preserved" `Quick test_widen_preserves_weight;
+          Alcotest.test_case "recurrence serialized" `Quick test_widen_recurrence_copies_serialized;
+        ] );
+      ( "unroll",
+        [
+          Alcotest.test_case "identity" `Quick test_unroll_identity;
+          Alcotest.test_case "counts" `Quick test_unroll_counts;
+          Alcotest.test_case "offsets" `Quick test_unroll_offsets;
+          Alcotest.test_case "recurrence distance" `Quick test_unroll_recurrence_distance;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_widen_valid_graphs;
+            prop_widen_op_accounting;
+            prop_widen_scalar_work_preserved;
+            prop_widen_rec_rate_preserved;
+            prop_unroll_equals_widen_on_noncompactable;
+          ] );
+    ]

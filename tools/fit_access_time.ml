@@ -1,0 +1,153 @@
+(* Offline calibration of the register-file access-time model against
+   the paper's Table 4.  Grid-searches the two exponents and solves the
+   linear coefficients by least squares; prints the best coefficient
+   set (to be pasted into lib/cost/access_time.ml) and the residuals.
+
+   Run: dune exec tools/fit_access_time.exe *)
+
+module Config = Wr_machine.Config
+
+(* Table 4: (x, y) -> relative access time at 32/64/128/256 registers. *)
+let table4 =
+  [
+    ((1, 1), [| 1.00; 1.05; 1.18; 1.34 |]);
+    ((2, 1), [| 1.49; 1.54; 1.70; 1.87 |]);
+    ((1, 2), [| 1.10; 1.15; 1.29; 1.45 |]);
+    ((4, 1), [| 2.44; 2.51; 2.69; 2.90 |]);
+    ((2, 2), [| 1.65; 1.72; 1.87; 2.06 |]);
+    ((1, 4), [| 1.22; 1.27; 1.43; 1.60 |]);
+    ((8, 1), [| 4.32; 4.41; 4.61; 4.87 |]);
+    ((4, 2), [| 2.75; 2.82; 3.00; 3.23 |]);
+    ((2, 4), [| 1.85; 1.92; 2.09; 2.29 |]);
+    ((1, 8), [| 1.39; 1.45; 1.62; 1.80 |]);
+    ((16, 1), [| 8.04; 8.15; 8.39; 8.72 |]);
+    ((8, 2), [| 4.89; 4.99; 5.20; 5.48 |]);
+    ((4, 4), [| 3.10; 3.18; 3.38; 3.61 |]);
+    ((2, 8), [| 2.12; 2.20; 2.38; 2.60 |]);
+    ((1, 16), [| 1.68; 1.75; 1.93; 2.14 |]);
+  ]
+
+let sizes = [| 32; 64; 128; 256 |]
+
+let samples =
+  List.concat_map
+    (fun ((x, y), times) ->
+      List.init 4 (fun i ->
+          let c = Config.xwy ~registers:sizes.(i) ~x ~y () in
+          (c, times.(i))))
+    table4
+
+(* Feature vector for one configuration given the exponents: wordline
+   term (row length)^p, bitline term height^r * registers^s. *)
+let features p (r, s) (c : Config.t) =
+  let z = float_of_int c.Config.registers in
+  let b = float_of_int (Config.bits_per_register c) in
+  let cell =
+    Wr_cost.Register_cell.dimensions
+      ~reads:(Config.read_ports_per_partition c)
+      ~writes:(Config.write_ports_per_partition c)
+  in
+  [|
+    log z;
+    (b *. cell.Wr_cost.Register_cell.width) ** p;
+    (cell.Wr_cost.Register_cell.height ** r) *. (z ** s);
+    1.0;
+  |]
+
+(* Solve the 4x4 normal equations by Gaussian elimination. *)
+let solve_ls rows targets =
+  let n = 4 in
+  let ata = Array.make_matrix n n 0.0 and atb = Array.make n 0.0 in
+  List.iter2
+    (fun row t ->
+      for i = 0 to n - 1 do
+        atb.(i) <- atb.(i) +. (row.(i) *. t);
+        for j = 0 to n - 1 do
+          ata.(i).(j) <- ata.(i).(j) +. (row.(i) *. row.(j))
+        done
+      done)
+    rows targets;
+  (* Augmented elimination with partial pivoting. *)
+  let a = Array.init n (fun i -> Array.append ata.(i) [| atb.(i) |]) in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+    done;
+    let tmp = a.(col) in
+    a.(col) <- a.(!pivot);
+    a.(!pivot) <- tmp;
+    if Float.abs a.(col).(col) < 1e-12 then a.(col).(col) <- 1e-12;
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let f = a.(r).(col) /. a.(col).(col) in
+        for k = col to n do
+          a.(r).(k) <- a.(r).(k) -. (f *. a.(col).(k))
+        done
+      end
+    done
+  done;
+  Array.init n (fun i -> a.(i).(n) /. a.(i).(i))
+
+let evaluate p q =
+  let rows = List.map (fun (c, _) -> features p q c) samples in
+  let targets = List.map snd samples in
+  let coef = solve_ls rows targets in
+  let base = Config.xwy ~registers:32 ~x:1 ~y:1 () in
+  let predict c =
+    let f = features p q c in
+    let raw = ref 0.0 in
+    Array.iteri (fun i v -> raw := !raw +. (coef.(i) *. v)) f;
+    !raw
+  in
+  let base_t = predict base in
+  let err = ref 0.0 and maxerr = ref 0.0 in
+  List.iter
+    (fun (c, target) ->
+      let rel = predict c /. base_t in
+      let e = Float.abs (rel -. target) /. target in
+      err := !err +. (e *. e);
+      if e > !maxerr then maxerr := e)
+    samples;
+  (sqrt (!err /. float_of_int (List.length samples)), !maxerr, coef)
+
+let () =
+  let best = ref (infinity, 0.0, [||], 0.0, (0.0, 0.0)) in
+  let p = ref 0.60 in
+  while !p <= 1.201 do
+    let r = ref 0.80 in
+    while !r <= 1.301 do
+      let s = ref 0.00 in
+      while !s <= 0.301 do
+        let rms, mx, coef = evaluate !p (!r, !s) in
+        let brms, _, _, _, _ = !best in
+        if rms < brms then best := (rms, mx, coef, !p, (!r, !s));
+        s := !s +. 0.005
+      done;
+      r := !r +. 0.01
+    done;
+    p := !p +. 0.01
+  done;
+  let rms, mx, coef, p, (r, s) = !best in
+  Printf.printf "best fit: p=%.3f r=%.3f s=%.3f rms=%.4f max=%.4f\n" p r s rms mx;
+  Printf.printf
+    "coefficients: { decode = %.6g; wordline = %.6g; wordline_exp = %.3f; bitline = %.6g; height_exp = %.3f; regs_exp = %.3f; constant = %.6g }\n"
+    coef.(0) coef.(1) p coef.(2) r s coef.(3);
+  (* Residual table for EXPERIMENTS.md. *)
+  let predict c =
+    let f = features p (r, s) c in
+    let raw = ref 0.0 in
+    Array.iteri (fun i v -> raw := !raw +. (coef.(i) *. v)) f;
+    !raw
+  in
+  let base_t = predict (Config.xwy ~registers:32 ~x:1 ~y:1 ()) in
+  List.iter
+    (fun ((x, y), times) ->
+      Printf.printf "%2dw%-2d " x y;
+      Array.iteri
+        (fun i target ->
+          let c = Config.xwy ~registers:sizes.(i) ~x ~y () in
+          Printf.printf " %5.2f/%5.2f" (predict c /. base_t) target)
+        times;
+      print_newline ())
+    table4
