@@ -5,7 +5,10 @@
      dune exec bench/main.exe                 -- all experiments, full suite
      dune exec bench/main.exe fig3            -- one experiment
      dune exec bench/main.exe all -s 200      -- subsampled suite (faster)
-     dune exec bench/main.exe all --no-timing -- skip the Bechamel runs *)
+     dune exec bench/main.exe all --no-timing -- skip the Bechamel runs
+     dune exec bench/main.exe fig3 --jobs 4   -- evaluation pool of 4 domains
+     dune exec bench/main.exe parspeed        -- sequential-vs-parallel wall time
+     dune exec bench/main.exe all --json BENCH.json   -- machine-readable timings *)
 
 open Bechamel
 open Toolkit
@@ -19,16 +22,18 @@ module Cycle_model = Wr_machine.Cycle_model
 let experiments =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig2"; "fig3"; "fig4";
     "fig6"; "fig7"; "fig8"; "fig9"; "conclusion"; "ablation-compact"; "ablation-levers";
-    "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "endtoend" ]
+    "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
+    "endtoend"; "parspeed" ]
 
 let usage () =
-  Printf.eprintf "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR]\n"
+  Printf.eprintf
+    "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE]\n"
     (String.concat "|" experiments);
   exit 1
 
-let selected, sample_size, with_timing, csv_dir =
+let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path =
   let selected = ref "all" and sample = ref None and timing = ref true in
-  let csv = ref None in
+  let csv = ref None and jobs = ref None and json = ref None in
   let rec parse = function
     | [] -> ()
     | "-s" :: n :: rest ->
@@ -40,13 +45,61 @@ let selected, sample_size, with_timing, csv_dir =
     | "--csv" :: dir :: rest ->
         csv := Some dir;
         parse rest
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> jobs := Some v
+        | _ -> usage ());
+        parse rest
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
     | id :: rest when id = "all" || List.mem id experiments ->
         selected := id;
         parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!selected, !sample, !timing, !csv)
+  (!selected, !sample, !timing, !csv, !jobs, !json)
+
+let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
+
+let effective_jobs () =
+  match jobs_flag with Some j -> j | None -> Wr_util.Pool.default_jobs ()
+
+(* --json collects per-experiment wall times and Bechamel estimates so
+   the perf trajectory can be tracked across commits (BENCH_*.json). *)
+let wall_times : (string * float) list ref = ref []
+
+let bechamel_estimates : (string * float) list ref = ref []
+
+let record_wall id seconds = wall_times := (id, seconds) :: !wall_times
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~suite_id ~loops =
+  let entries fmt l =
+    String.concat ",\n"
+      (List.rev_map (fun (name, v) -> Printf.sprintf fmt (json_escape name) v) l)
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"suite\": \"%s\",\n  \"loops\": %d,\n  \"jobs\": %d,\n  \"experiments\": [\n%s\n  ],\n\
+        \  \"bechamel\": [\n%s\n  ]\n}\n"
+        (json_escape suite_id) (Array.length loops) (effective_jobs ())
+        (entries "    { \"id\": \"%s\", \"wall_s\": %.3f }" !wall_times)
+        (entries "    { \"name\": \"%s\", \"ms_per_run\": %.6f }" !bechamel_estimates));
+  Printf.printf "[json] wrote %s\n%!" path
 
 (* CSV export: one file per experiment, for downstream plotting. *)
 let write_csv name header rows =
@@ -87,7 +140,9 @@ let time_test name staged =
   Hashtbl.iter
     (fun key o ->
       match Analyze.OLS.estimates o with
-      | Some (est :: _) -> Printf.printf "  [bechamel] %s: %.3f ms/run\n%!" key (est /. 1e6)
+      | Some (est :: _) ->
+          bechamel_estimates := (key, est /. 1e6) :: !bechamel_estimates;
+          Printf.printf "  [bechamel] %s: %.3f ms/run\n%!" key (est /. 1e6)
       | _ -> Printf.printf "  [bechamel] %s: no estimate\n%!" key)
     results
 
@@ -287,7 +342,50 @@ let run_experiment id =
         !checked !failed;
       paper_note
         "Beyond the paper: every schedule is executed on a cycle-level simulator with MVE          register assignment and compared bit-for-bit with sequential semantics."
+  | "parspeed" ->
+      (* Sequential-vs-parallel wall time of the two heaviest
+         experiments, with an output-identity check: the speedup is
+         measured, and the determinism contract verified, on every
+         run.  Fresh suite ids + cache clears keep the memo table from
+         leaking work between the timed runs. *)
+      let par_jobs = Stdlib.max 1 (effective_jobs ()) in
+      let timed_run jobs =
+        Wr_util.Pool.set_default_jobs jobs;
+        Core.Evaluate.clear_cache ();
+        let sid = fresh_suite_id () in
+        let t0 = Unix.gettimeofday () in
+        let fig3 = Core.Spill_study.to_text (Core.Spill_study.run ~suite_id:sid loops) in
+        let t1 = Unix.gettimeofday () in
+        let fig9 = Core.Tradeoff.figure9_text (Core.Tradeoff.figure9 ~suite_id:sid loops) in
+        let t2 = Unix.gettimeofday () in
+        (fig3, fig9, t1 -. t0, t2 -. t1)
+      in
+      let s3, s9, seq3, seq9 = timed_run 1 in
+      let p3, p9, par3, par9 = timed_run par_jobs in
+      Wr_util.Pool.set_default_jobs par_jobs;
+      record_wall "parspeed/fig3-jobs1" seq3;
+      record_wall (Printf.sprintf "parspeed/fig3-jobs%d" par_jobs) par3;
+      record_wall "parspeed/fig9-jobs1" seq9;
+      record_wall (Printf.sprintf "parspeed/fig9-jobs%d" par_jobs) par9;
+      Printf.printf "fig3: %.2fs with 1 job, %.2fs with %d jobs -> %.2fx\n" seq3 par3 par_jobs
+        (seq3 /. Stdlib.max 1e-9 par3);
+      Printf.printf "fig9: %.2fs with 1 job, %.2fs with %d jobs -> %.2fx\n" seq9 par9 par_jobs
+        (seq9 /. Stdlib.max 1e-9 par9);
+      let identical = String.equal s3 p3 && String.equal s9 p9 in
+      Printf.printf "outputs bit-identical across pool sizes: %b\n" identical;
+      if not identical then begin
+        Printf.eprintf "parspeed: sequential and parallel outputs differ!\n";
+        exit 1
+      end;
+      paper_note
+        (Printf.sprintf
+           "Engine check: per-loop scheduling fans out over %d domain(s) \
+            (Domain.recommended_domain_count %d on this machine); output is verified \
+            bit-identical to the sequential engine."
+           par_jobs
+           (Domain.recommended_domain_count ()))
   | _ -> usage ());
+  record_wall id (Unix.gettimeofday () -. started);
   Printf.printf "[%s generated in %.1fs]\n" id (Unix.gettimeofday () -. started);
   print_newline ();
   if with_timing then begin
@@ -362,7 +460,12 @@ let run_experiment id =
   end
 
 let () =
-  Printf.printf "Widening-resources study bench harness (suite: %s, %d loops)\n\n%!" suite_id
-    (Array.length loops);
+  Printf.printf "Widening-resources study bench harness (suite: %s, %d loops, %d jobs)\n\n%!"
+    suite_id (Array.length loops) (effective_jobs ());
   Printf.printf "%s\n" (Wr_workload.Suite.statistics loops);
-  if selected = "all" then List.iter run_experiment experiments else run_experiment selected
+  (* parspeed re-times fig3/fig9 at two pool sizes; keep it out of
+     "all" so the default full run isn't doubled.  Invoke explicitly. *)
+  if selected = "all" then
+    List.iter run_experiment (List.filter (fun e -> e <> "parspeed") experiments)
+  else run_experiment selected;
+  Option.iter (fun path -> write_json path ~suite_id ~loops) json_path

@@ -27,7 +27,8 @@ let experiment_ids =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "all";
   ]
 
-let run_experiment id sample =
+let run_experiment id sample jobs =
+  Option.iter Wr_util.Pool.set_default_jobs jobs;
   let loops, suite_id = suite_of_sample sample in
   let print = print_string in
   let dispatch = function
@@ -71,6 +72,22 @@ let sample_arg =
   let doc = "Evaluate on a deterministic N-loop subsample of the 1180-loop suite." in
   Arg.(value & opt (some int) None & info [ "s"; "sample" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Size of the domain pool used for parallel evaluation (also the WR_JOBS environment \
+     variable; defaults to the number of cores).  The results are bit-identical for any \
+     value; 1 forces fully sequential evaluation."
+  in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg "JOBS must be a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some positive) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let experiment_cmd =
   let id =
     let doc = "Experiment id: " ^ String.concat ", " experiment_ids ^ "." in
@@ -79,7 +96,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
-    Term.(const run_experiment $ id $ sample_arg)
+    Term.(const run_experiment $ id $ sample_arg $ jobs_arg)
 
 (* --- schedule --------------------------------------------------------- *)
 

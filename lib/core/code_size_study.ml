@@ -8,14 +8,15 @@ type t = (int * entry list) list
 
 let cycle_model = Cycle_model.Cycles_4
 
-(* Static code: one kernel per loop — no trip counts, no weights. *)
+(* Static code: one kernel per loop — no trip counts, no weights.
+   Loops are scheduled independently in parallel; the sum folds the
+   order-preserving map output sequentially, keeping the total
+   deterministic for any pool size. *)
 let total_bits config loops =
   Wr_util.Stats.sum
-    (Array.map
-       (fun loop ->
+    (Wr_util.Pool.parallel_map loops ~f:(fun loop ->
          let r = Evaluate.loop_on config ~cycle_model ~registers:1_000_000 loop in
-         float_of_int (Code_size.loop_code_bits config ~ii:r.Evaluate.ii))
-       loops)
+         float_of_int (Code_size.loop_code_bits config ~ii:r.Evaluate.ii)))
 
 let run ?(suite_id = "suite") loops =
   ignore suite_id;
@@ -31,8 +32,7 @@ let run ?(suite_id = "suite") loops =
         | [] -> (1.0, 1)
       in
       ( factor,
-        List.map
-          (fun c ->
+        Wr_util.Pool.parallel_list_map configs ~f:(fun c ->
             {
               config = c;
               (* The paper's Figure 7: at equal peak performance the
@@ -44,8 +44,7 @@ let run ?(suite_id = "suite") loops =
                  inflates the narrow machines' II and eats part of the
                  advantage. *)
               measured = total_bits c loops /. base_bits;
-            })
-          configs ))
+            }) ))
     [ 2; 4; 8 ]
 
 let to_text t =

@@ -96,24 +96,54 @@ type aggregate = {
   total_loads : int;
 }
 
+(* Thread-safety discipline: the memo table is shared across the pool's
+   domains and every access goes through [cache_mutex].  Lookups and
+   stores are short critical sections; the evaluation itself runs
+   outside the lock, so two domains racing on the same key at most
+   duplicate a deterministic computation and [Hashtbl.replace] makes
+   the second store a no-op in effect. *)
 let cache : (string * int * int * int * int, aggregate) Hashtbl.t = Hashtbl.create 256
 
-let clear_cache () = Hashtbl.reset cache
+let cache_mutex = Mutex.create ()
 
-let suite_on ~suite_id (c : Config.t) ~cycle_model ~registers loops =
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
+
+let cache_find key =
+  Mutex.lock cache_mutex;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_mutex;
+  r
+
+let cache_store key agg =
+  Mutex.lock cache_mutex;
+  Hashtbl.replace cache key agg;
+  Mutex.unlock cache_mutex
+
+let suite_on ?pool ~suite_id (c : Config.t) ~cycle_model ~registers loops =
   let key =
     (suite_id, c.Config.buses, c.Config.width, registers, Cycle_model.cycles cycle_model)
   in
-  match Hashtbl.find_opt cache key with
+  match cache_find key with
   | Some agg -> agg
   | None ->
+      (* Per-loop evaluations are independent; fan them out over the
+         pool.  The fold below walks the order-preserving result array
+         sequentially, so float accumulation order — and with it the
+         aggregate, bit for bit — is identical for any pool size. *)
+      let results =
+        Wr_util.Pool.parallel_map ?pool loops ~f:(fun loop ->
+            loop_on c ~cycle_model ~registers loop)
+      in
       let total_cycles = ref 0.0 in
       let unpipelined = ref 0 and spilled = ref 0 in
       let stores = ref 0 and loads = ref 0 in
       let weight = ref 0.0 and fallback_weight = ref 0.0 in
-      Array.iter
-        (fun loop ->
-          let r = loop_on c ~cycle_model ~registers loop in
+      Array.iteri
+        (fun i (r : loop_result) ->
+          let loop = loops.(i) in
           total_cycles := !total_cycles +. r.cycles;
           weight := !weight +. loop.Loop.weight;
           if not r.pipelined then begin
@@ -123,7 +153,7 @@ let suite_on ~suite_id (c : Config.t) ~cycle_model ~registers loops =
           if r.spill_stores > 0 then incr spilled;
           stores := !stores + r.spill_stores;
           loads := !loads + r.spill_loads)
-        loops;
+        results;
       let agg =
         {
           total_cycles = !total_cycles;
@@ -135,7 +165,7 @@ let suite_on ~suite_id (c : Config.t) ~cycle_model ~registers loops =
           total_loads = !loads;
         }
       in
-      Hashtbl.add cache key agg;
+      cache_store key agg;
       agg
 
 let acceptable agg = agg.unpipelined_weight <= 0.10

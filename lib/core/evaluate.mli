@@ -14,7 +14,19 @@
     Aggregates over a suite are memoized on
     [(suite, buses, width, registers, cycle model)] because the
     technology studies revisit the same operating points many times
-    (partition variants share everything but the clock). *)
+    (partition variants share everything but the clock).
+
+    {2 Concurrency}
+
+    [suite_on] evaluates loops in parallel on a {!Wr_util.Pool} (the
+    process-wide default unless [?pool] is given) and is itself safe to
+    call from pool tasks, so study drivers may fan out over
+    configurations while each configuration fans out over loops.  The
+    memo table is guarded by a mutex: lookups and stores are short
+    critical sections, the evaluation runs outside the lock, and two
+    domains racing on one key merely duplicate a deterministic
+    computation.  Results are bit-identical for any pool size because
+    the per-loop results are reduced sequentially in input order. *)
 
 type loop_result = {
   ii : int;  (** initiation interval, or the sequential span when not pipelined *)
@@ -43,13 +55,16 @@ type aggregate = {
 }
 
 val suite_on :
+  ?pool:Wr_util.Pool.t ->
   suite_id:string ->
   Wr_machine.Config.t ->
   cycle_model:Wr_machine.Cycle_model.t ->
   registers:int ->
   Wr_ir.Loop.t array ->
   aggregate
-(** Memoized; [suite_id] must uniquely name the loop array passed. *)
+(** Memoized; [suite_id] must uniquely name the loop array passed.
+    Evaluates loops in parallel on [pool] (default: the shared pool);
+    deterministic for any pool size. *)
 
 val acceptable : aggregate -> bool
 (** Whether the configuration point counts as schedulable: fallbacks

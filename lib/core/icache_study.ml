@@ -40,9 +40,11 @@ let footprint (x, y) (loop : Loop.t) =
   (code_bytes, kernel_passes, kernel_cycles)
 
 let run ?(cache_sizes_kb = [ 4; 8; 16; 32 ]) loops =
-  List.concat_map
-    (fun (x, y) ->
-      let stats = Array.map (footprint (x, y)) loops in
+  (* Scheduling + codegen per loop dominates; fan it out per machine,
+     and over machines (nested maps on the shared pool are safe). *)
+  List.concat
+    (Wr_util.Pool.parallel_list_map grid ~f:(fun (x, y) ->
+      let stats = Wr_util.Pool.parallel_map loops ~f:(footprint (x, y)) in
       List.map
         (fun kb ->
           let cache = Icache.make ~size_bytes:(kb * 1024) () in
@@ -63,8 +65,7 @@ let run ?(cache_sizes_kb = [ 4; 8; 16; 32 ]) loops =
             over_capacity_share = float_of_int !over /. n;
             mean_overhead = !total_stalls /. Stdlib.max 1.0 !total_compute;
           })
-        cache_sizes_kb)
-    grid
+        cache_sizes_kb))
 
 let to_text t =
   let cache_sizes = List.sort_uniq compare (List.map (fun c -> c.cache_kb) t) in

@@ -7,14 +7,17 @@ type t = (int * point list) list
 
 let cycle_model = Cycle_model.Cycles_4
 
+(* Per-loop rates are independent; the sum folds the order-preserving
+   parallel map's output left-to-right, so the total is bit-identical
+   for any pool size. *)
 let total_cycles config loops =
-  Wr_util.Stats.sum (Array.map (fun l -> Rates.loop_cycles config ~cycle_model l) loops)
+  Wr_util.Stats.sum
+    (Wr_util.Pool.parallel_map loops ~f:(fun l -> Rates.loop_cycles config ~cycle_model l))
 
 let run ?(max_factor = 128) loops =
   let base = total_cycles (Config.xwy ~x:1 ~y:1 ()) loops in
   let rec factors f = if f > max_factor then [] else f :: factors (2 * f) in
-  List.map
-    (fun factor ->
+  Wr_util.Pool.parallel_list_map (factors 2) ~f:(fun factor ->
       let rec splits x acc = if x = 0 then List.rev acc else splits (x / 2) (x :: acc) in
       let xs = splits factor [] in
       let points =
@@ -25,7 +28,6 @@ let run ?(max_factor = 128) loops =
           xs
       in
       (factor, points))
-    (factors 2)
 
 let to_text t =
   let headers = [ "factor"; "configs: speed-up (replication-heavy first)" ] in

@@ -13,31 +13,44 @@ type t = {
 }
 
 (* Recurrence rates depend only on the graph and the cycle model, and
-   are queried for every configuration of the grid; memoize per loop
-   (keyed by the graph's physical identity). *)
+   are queried for every configuration of the grid; memoize per loop.
+
+   Thread-safety discipline: both memo tables are shared across pool
+   domains and every access is guarded by [cache_mutex]; the analyses
+   run outside the lock, so concurrent misses on one key duplicate a
+   deterministic computation and the duplicate [Hashtbl.replace] is
+   harmless.  Cached values are immutable once published (the
+   compactable array is written only by Compact.analyze before it is
+   stored). *)
+let cache_mutex = Mutex.create ()
+
 let rec_rate_cache : (int * int, float) Hashtbl.t = Hashtbl.create 4096
 
 let loop_key (l : Loop.t) = Hashtbl.hash (l.Loop.name, Ddg.num_ops l.Loop.ddg)
 
+let memoized table key compute =
+  Mutex.lock cache_mutex;
+  let hit = Hashtbl.find_opt table key in
+  Mutex.unlock cache_mutex;
+  match hit with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Mutex.lock cache_mutex;
+      Hashtbl.replace table key v;
+      Mutex.unlock cache_mutex;
+      v
+
 let rec_rate_of ~cycle_model (l : Loop.t) =
   let key = (loop_key l, Cycle_model.cycles cycle_model) in
-  match Hashtbl.find_opt rec_rate_cache key with
-  | Some r -> r
-  | None ->
-      let r = Wr_sched.Mii.rec_rate ~cycle_model l.Loop.ddg in
-      Hashtbl.add rec_rate_cache key r;
-      r
+  memoized rec_rate_cache key (fun () -> Wr_sched.Mii.rec_rate ~cycle_model l.Loop.ddg)
 
 let compact_cache : (int * int, bool array) Hashtbl.t = Hashtbl.create 4096
 
 let compactable_of ~width (l : Loop.t) =
   let key = (loop_key l, width) in
-  match Hashtbl.find_opt compact_cache key with
-  | Some c -> c
-  | None ->
-      let c = (Wr_widen.Compact.analyze ~width l.Loop.ddg).Wr_widen.Compact.compactable in
-      Hashtbl.add compact_cache key c;
-      c
+  memoized compact_cache key (fun () ->
+      (Wr_widen.Compact.analyze ~width l.Loop.ddg).Wr_widen.Compact.compactable)
 
 (* Figure 2 is a limits study: perfect scheduling with unbounded
    unrolling hides the II >= 1 quantization, so the cost per source

@@ -13,7 +13,12 @@
 
     Computing the rates directly (instead of materializing the widened
     and unrolled graph) makes the 128-wide corner of the design space
-    tractable. *)
+    tractable.
+
+    Thread-safe: the per-loop recurrence-rate and compactability memo
+    tables are mutex-guarded (analyses run outside the lock; concurrent
+    misses duplicate a deterministic computation at worst), so
+    {!of_loop} may be called freely from {!Wr_util.Pool} tasks. *)
 
 type t = {
   rec_rate : float;

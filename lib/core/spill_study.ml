@@ -16,8 +16,9 @@ let run ?(registers = [ 32; 64; 128; 256 ]) ?(suite_id = "suite") loops =
   let base = Evaluate.suite_on ~suite_id baseline_cfg ~cycle_model ~registers:256 loops in
   if base.Evaluate.unpipelined > 0 then
     failwith "Spill_study: baseline 1w1/256 must pipeline every loop";
-  List.map
-    (fun (x, y) ->
+  (* Grid rows are independent; each cell's suite evaluation fans out
+     over loops on the same pool (nested maps are safe). *)
+  Wr_util.Pool.parallel_list_map grid ~f:(fun (x, y) ->
       let cells =
         List.map
           (fun z ->
@@ -28,7 +29,6 @@ let run ?(registers = [ 32; 64; 128; 256 ]) ?(suite_id = "suite") loops =
           registers
       in
       { config = Config.xwy ~x ~y (); cells })
-    grid
 
 let to_text t =
   let registers = match t with [] -> [] | r :: _ -> List.map fst r.cells in

@@ -45,9 +45,11 @@ let evaluate ?(suite_id = "suite") loops (c : Config.t) =
   end
 
 let panel ~suite_id ~title loops configs =
+  (* Fill the baseline's memo entry before fanning out so the parallel
+     points don't all recompute it on a cold cache. *)
+  ignore (baseline_wallclock ~suite_id loops);
   let rows =
-    List.map
-      (fun c ->
+    Wr_util.Pool.parallel_list_map configs ~f:(fun c ->
         match evaluate ~suite_id loops c with
         | Some p ->
             [
@@ -58,7 +60,6 @@ let panel ~suite_id ~title loops configs =
               Printf.sprintf "%.0f" (p.area /. 1e6);
             ]
         | None -> [ Config.label c; "-"; "-"; "n/a"; "-" ])
-      configs
   in
   Table.render ~title
     ~headers:[ "config"; "Tc"; "latency model"; "speed-up"; "area (x10^6 l^2)" ]
@@ -91,10 +92,17 @@ let figure8 ?(suite_id = "suite") loops =
   String.concat "\n" [ a; b; c; d ]
 
 let figure9 ?(suite_id = "suite") ?(top = 5) loops =
+  ignore (baseline_wallclock ~suite_id loops);
   List.map
     (fun g ->
       let candidates = Implementability.implementable_configs g in
-      let points = List.filter_map (evaluate ~suite_id loops) candidates in
+      (* Candidate configurations are independent design points; order
+         is preserved so the stable part of the sort below is
+         deterministic. *)
+      let points =
+        List.filter_map Fun.id
+          (Wr_util.Pool.parallel_list_map candidates ~f:(evaluate ~suite_id loops))
+      in
       let sorted = List.sort (fun a b -> compare b.speedup a.speedup) points in
       let rec take k = function
         | [] -> []
@@ -123,13 +131,13 @@ let figure9_text results =
        results)
 
 let conclusion ?(suite_id = "suite") loops =
+  ignore (baseline_wallclock ~suite_id loops);
   let best_partition x y =
     let candidates =
-      List.filter_map
-        (fun n ->
-          if n > x || x mod n <> 0 then None
-          else evaluate ~suite_id loops (Config.xwy ~registers:128 ~partitions:n ~x ~y ()))
-        [ 1; 2; 4; 8 ]
+      List.filter_map Fun.id
+        (Wr_util.Pool.parallel_list_map [ 1; 2; 4; 8 ] ~f:(fun n ->
+             if n > x || x mod n <> 0 then None
+             else evaluate ~suite_id loops (Config.xwy ~registers:128 ~partitions:n ~x ~y ())))
     in
     match List.sort (fun a b -> compare b.speedup a.speedup) candidates with
     | best :: _ -> Some best

@@ -21,37 +21,67 @@ let cm = Cycle_model.Cycles_4
 
 let grid = [ (2, 1); (4, 1); (2, 2); (8, 1); (4, 2); (2, 4); (1, 8) ]
 
+(* Per-loop outcome on one configuration: how the allocator responded
+   and the loop's contributions to program and spill traffic. *)
+type loop_response = {
+  r_spilled : bool;
+  r_slowed : bool;
+  r_failed : bool;
+  r_program : float;
+  r_spill : float;
+}
+
+let classify resource ~registers:z ~width:y (loop : Loop.t) =
+  let wide, _ = Wr_widen.Transform.widen loop ~width:y in
+  (* Program traffic in scalar words per source execution. *)
+  let mem_ops = Ddg.scalar_count_class loop.Loop.ddg Opcode.Bus in
+  let r_program = float_of_int (mem_ops * loop.Loop.trip_count) *. loop.Loop.weight in
+  match Driver.run resource ~cycle_model:cm ~registers:z wide.Loop.ddg with
+  | Driver.Scheduled s when s.Driver.stores_added + s.Driver.loads_added > 0 ->
+      let extra_static = s.Driver.stores_added + s.Driver.loads_added in
+      {
+        r_spilled = true;
+        r_slowed = false;
+        r_failed = false;
+        r_program;
+        r_spill = float_of_int (extra_static * wide.Loop.trip_count) *. loop.Loop.weight;
+      }
+  | Driver.Scheduled s ->
+      {
+        r_spilled = false;
+        r_slowed = s.Driver.schedule.Wr_sched.Schedule.ii > s.Driver.mii;
+        r_failed = false;
+        r_program;
+        r_spill = 0.0;
+      }
+  | Driver.Unschedulable _ ->
+      { r_spilled = false; r_slowed = false; r_failed = true; r_program; r_spill = 0.0 }
+
 let run ?(registers = [ 32; 64; 128 ]) ?(suite_id = "traffic") loops =
   ignore suite_id;
-  List.concat_map
-    (fun (x, y) ->
+  (* Grid cells in parallel; within a cell the loops are classified in
+     parallel and the responses folded in input order, keeping the
+     traffic sums bit-identical for any pool size. *)
+  List.concat
+    (Wr_util.Pool.parallel_list_map grid ~f:(fun (x, y) ->
       List.map
         (fun z ->
           let config = Config.xwy ~registers:z ~x ~y () in
           let resource = Resource.of_config config in
-          let spilled = ref 0 and slowed = ref 0 and failed = ref 0 and counted = ref 0 in
+          let responses =
+            Wr_util.Pool.parallel_map loops ~f:(classify resource ~registers:z ~width:y)
+          in
+          let spilled = ref 0 and slowed = ref 0 and failed = ref 0 in
           let program_traffic = ref 0.0 and spill_traffic = ref 0.0 in
           Array.iter
-            (fun (loop : Loop.t) ->
-              let wide, _ = Wr_widen.Transform.widen loop ~width:y in
-              incr counted;
-              (* Program traffic in scalar words per source execution. *)
-              let mem_ops = Ddg.scalar_count_class loop.Loop.ddg Opcode.Bus in
-              program_traffic :=
-                !program_traffic
-                +. (float_of_int (mem_ops * loop.Loop.trip_count) *. loop.Loop.weight);
-              match Driver.run resource ~cycle_model:cm ~registers:z wide.Loop.ddg with
-              | Driver.Scheduled s when s.Driver.stores_added + s.Driver.loads_added > 0 ->
-                  incr spilled;
-                  let extra_static = s.Driver.stores_added + s.Driver.loads_added in
-                  spill_traffic :=
-                    !spill_traffic
-                    +. (float_of_int (extra_static * wide.Loop.trip_count) *. loop.Loop.weight)
-              | Driver.Scheduled s ->
-                  if s.Driver.schedule.Wr_sched.Schedule.ii > s.Driver.mii then incr slowed
-              | Driver.Unschedulable _ -> incr failed)
-            loops;
-          let n = float_of_int (Stdlib.max 1 !counted) in
+            (fun r ->
+              if r.r_spilled then incr spilled;
+              if r.r_slowed then incr slowed;
+              if r.r_failed then incr failed;
+              program_traffic := !program_traffic +. r.r_program;
+              spill_traffic := !spill_traffic +. r.r_spill)
+            responses;
+          let n = float_of_int (Stdlib.max 1 (Array.length responses)) in
           {
             config;
             registers = z;
@@ -60,8 +90,7 @@ let run ?(registers = [ 32; 64; 128 ]) ?(suite_id = "traffic") loops =
             failed_loops = float_of_int !failed /. n;
             traffic_overhead = !spill_traffic /. Stdlib.max 1.0 !program_traffic;
           })
-        registers)
-    grid
+        registers))
 
 let to_text t =
   let registers = List.sort_uniq compare (List.map (fun c -> c.registers) t) in

@@ -14,7 +14,21 @@ let delay ~cycle_model g (e : Dependence.t) =
   Dependence.delay_rule e.kind
     ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
 
-let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) g =
+let neg_inf = min_int / 4
+
+(* The scratch matrix must be at least n x n; rows are reset here, so a
+   caller (min_ii) can hand the same buffer to every II attempt instead
+   of paying an O(n^2) allocation per retry. *)
+let path_matrix ?scratch n =
+  match scratch with
+  | Some m when Array.length m >= n && (n = 0 || Array.length m.(0) >= n) ->
+      for i = 0 to n - 1 do
+        Array.fill m.(i) 0 n neg_inf
+      done;
+      m
+  | _ -> Array.make_matrix n n neg_inf
+
+let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) ?scratch g =
   let n = Ddg.num_ops g in
   if n = 0 then Feasible (Schedule.make ~ii ~times:[||] ~cycle_model)
   else begin
@@ -86,8 +100,7 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) g =
        bounds — an operation's window accounts for chains through
        still-unassigned intermediates, which direct-neighbour bounds
        miss. *)
-    let neg_inf = min_int / 4 in
-    let path = Array.make_matrix n n neg_inf in
+    let path = path_matrix ?scratch n in
     for v = 0 to n - 1 do
       path.(v).(v) <- 0
     done;
@@ -174,10 +187,13 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) g =
 
 let min_ii resource ~cycle_model ?max_nodes g =
   let mii = Mii.mii resource ~cycle_model g in
+  (* One scratch path matrix shared by all (up to 32) II attempts. *)
+  let n = Ddg.num_ops g in
+  let scratch = Array.make_matrix n n neg_inf in
   let rec go ii attempts_left =
     if attempts_left = 0 then None
     else
-      match at_ii resource ~cycle_model ~ii ?max_nodes g with
+      match at_ii resource ~cycle_model ~ii ?max_nodes ~scratch g with
       | Feasible s -> Some (ii, s)
       | Infeasible | Gave_up -> go (ii + 1) (attempts_left - 1)
   in

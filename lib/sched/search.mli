@@ -21,10 +21,14 @@ val at_ii :
   cycle_model:Wr_machine.Cycle_model.t ->
   ii:int ->
   ?max_nodes:int ->
+  ?scratch:int array array ->
   Wr_ir.Ddg.t ->
   outcome
 (** Search for a schedule at exactly the given II.  [max_nodes]
-    (default 200_000) bounds backtracking nodes. *)
+    (default 200_000) bounds backtracking nodes.  [scratch], if given,
+    is an at-least [n x n] matrix reused (and fully overwritten) for
+    the all-pairs path bounds, so a retry loop like {!min_ii} avoids
+    re-allocating O(n{^ 2}) per attempt. *)
 
 val min_ii :
   Wr_machine.Resource.t ->

@@ -1,0 +1,202 @@
+(* Fixed domain pool with a shared FIFO of tasks.
+
+   Concurrency discipline: a batch's caller never blocks while the
+   queue is non-empty — it pops and runs tasks itself.  Any thread
+   sleeping on a batch therefore observed an empty queue, meaning every
+   unfinished task of its batch is executing in some other domain; by
+   induction over nesting depth those tasks terminate, so the sleeper
+   is always woken.  This is what makes nested [parallel_map] calls on
+   the same pool safe. *)
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  pending : (unit -> unit) Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+  jobs : int;
+}
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with Some n when n >= 1 -> Some n | _ -> None
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "WR_JOBS") parse_jobs with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+let worker_loop t =
+  let rec next_task () =
+    if t.shutting_down then None
+    else
+      match Queue.take_opt t.pending with
+      | Some _ as task -> task
+      | None ->
+          Condition.wait t.nonempty t.mutex;
+          next_task ()
+  in
+  let rec run () =
+    Mutex.lock t.mutex;
+    let task = next_task () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        run ()
+  in
+  run ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1, got %d" j)
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      pending = Queue.create ();
+      shutting_down = false;
+      workers = [||];
+      jobs;
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let submit t task =
+  Mutex.lock t.mutex;
+  Queue.add task t.pending;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+(* --- default pool ----------------------------------------------------- *)
+
+let default_pool : t option ref = ref None
+
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_mutex;
+  let old = !default_pool in
+  default_pool := Some (create ~jobs:j ());
+  Mutex.unlock default_mutex;
+  Option.iter shutdown old
+
+(* --- batches ----------------------------------------------------------- *)
+
+type batch = {
+  b_mutex : Mutex.t;
+  b_done : Condition.t;
+  mutable unfinished : int;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+let finish_one batch err =
+  Mutex.lock batch.b_mutex;
+  (match (err, batch.error) with Some _, None -> batch.error <- err | _ -> ());
+  batch.unfinished <- batch.unfinished - 1;
+  if batch.unfinished = 0 then Condition.broadcast batch.b_done;
+  Mutex.unlock batch.b_mutex
+
+let guarded batch f () =
+  match f () with
+  | () -> finish_one batch None
+  | exception e -> finish_one batch (Some (e, Printexc.get_raw_backtrace ()))
+
+(* Run queued tasks until the batch completes, then sleep for stragglers
+   still executing in other domains. *)
+let help_until_done t batch =
+  let rec drain () =
+    let finished =
+      Mutex.lock batch.b_mutex;
+      let f = batch.unfinished = 0 in
+      Mutex.unlock batch.b_mutex;
+      f
+    in
+    if not finished then begin
+      Mutex.lock t.mutex;
+      let task = Queue.take_opt t.pending in
+      Mutex.unlock t.mutex;
+      match task with
+      | Some task ->
+          task ();
+          drain ()
+      | None ->
+          Mutex.lock batch.b_mutex;
+          while batch.unfinished > 0 do
+            Condition.wait batch.b_done batch.b_mutex
+          done;
+          Mutex.unlock batch.b_mutex
+    end
+  in
+  drain ()
+
+let parallel_map ?pool arr ~f =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else
+    let t = match pool with Some p -> p | None -> default () in
+    if t.jobs = 1 || n = 1 then Array.map f arr
+    else begin
+      (* Several chunks per worker so an unlucky chunk of hard loops
+         doesn't serialize the tail of the batch. *)
+      let chunk_size = Stdlib.max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs)) in
+      let nchunks = (n + chunk_size - 1) / chunk_size in
+      let out = Array.make nchunks None in
+      let batch =
+        {
+          b_mutex = Mutex.create ();
+          b_done = Condition.create ();
+          unfinished = nchunks;
+          error = None;
+        }
+      in
+      for c = 0 to nchunks - 1 do
+        let lo = c * chunk_size in
+        let len = Stdlib.min chunk_size (n - lo) in
+        submit t
+          (guarded batch (fun () -> out.(c) <- Some (Array.init len (fun i -> f arr.(lo + i)))))
+      done;
+      help_until_done t batch;
+      (match batch.error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (function
+                | Some chunk -> chunk
+                | None -> failwith "Pool.parallel_map: missing chunk result")
+              out))
+    end
+
+let parallel_list_map ?pool l ~f =
+  Array.to_list (parallel_map ?pool (Array.of_list l) ~f)

@@ -1,0 +1,67 @@
+(** Fixed-size domain pool for embarrassingly parallel evaluation.
+
+    The study evaluates ~1000 loops on each point of a configuration
+    grid; every (loop, configuration) pair is an independent
+    schedule/allocate/spill run, so the natural execution model is a
+    shared pool of OCaml 5 domains fed chunks of an input array.
+
+    {2 Sizing}
+
+    A pool holds [jobs - 1] worker domains; the domain that calls
+    {!parallel_map} acts as the [jobs]-th worker while it waits, so a
+    pool of size 1 spawns no domains at all and runs strictly
+    sequentially.  The size is resolved, in order of precedence, from
+    the explicit [~jobs] argument to {!create}, the [WR_JOBS]
+    environment variable, and [Domain.recommended_domain_count ()].
+
+    {2 Determinism}
+
+    [parallel_map] preserves input order: the result array holds
+    [f arr.(i)] at index [i] regardless of execution interleaving, so a
+    caller that folds the result sequentially gets bit-identical output
+    (including float summation order) for any pool size.
+
+    {2 Nesting}
+
+    A task may itself call {!parallel_map} on the same pool.  Waiters
+    never block while the task queue is non-empty — they execute queued
+    tasks themselves ("helping") — so nested maps cannot deadlock even
+    on a pool of size 2.
+
+    {2 Exceptions}
+
+    If [f] raises, the first exception (in completion order) is
+    re-raised in the calling domain with its original backtrace after
+    the whole batch has drained; the other chunks still run. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [WR_JOBS] if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs - 1] worker domains (default {!default_jobs}).
+    Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The concurrency of the pool, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Any [parallel_map] still in
+    flight completes first (its caller executes remaining tasks). *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use. *)
+
+val set_default_jobs : int -> unit
+(** Replace the default pool with one of the given size (shutting the
+    old one down).  Drivers call this once at startup for [--jobs N]. *)
+
+val parallel_map : ?pool:t -> 'a array -> f:('a -> 'b) -> 'b array
+(** Order-preserving chunked map over the pool ({!default} if [?pool]
+    is omitted).  Sequential when the pool size is 1 or the input has
+    fewer than 2 elements. *)
+
+val parallel_list_map : ?pool:t -> 'a list -> f:('a -> 'b) -> 'b list
+(** {!parallel_map} for lists (order preserved). *)

@@ -75,6 +75,37 @@ let test_evaluate_suite_memoized () =
   Alcotest.(check bool) "same stats" true (a = b);
   Alcotest.(check int) "all loops" 60 a.Core.Evaluate.loops
 
+let test_evaluate_parallel_deterministic () =
+  (* The engine's central contract: a 1-domain and a 4-domain pool
+     produce bit-identical aggregates (same float accumulation order,
+     same counters) on a 50-loop sample across several grid points. *)
+  let loops = Wr_workload.Suite.sample 50 in
+  let p1 = Wr_util.Pool.create ~jobs:1 () in
+  let p4 = Wr_util.Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Wr_util.Pool.shutdown p1;
+      Wr_util.Pool.shutdown p4)
+    (fun () ->
+      List.iter
+        (fun (x, y, z) ->
+          let c = Config.xwy ~registers:z ~x ~y () in
+          Core.Evaluate.clear_cache ();
+          let seq =
+            Core.Evaluate.suite_on ~pool:p1 ~suite_id:"det50" c ~cycle_model:cm ~registers:z
+              loops
+          in
+          Core.Evaluate.clear_cache ();
+          let par =
+            Core.Evaluate.suite_on ~pool:p4 ~suite_id:"det50" c ~cycle_model:cm ~registers:z
+              loops
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "aggregates bit-identical on %dw%d(%d)" x y z)
+            true (seq = par))
+        [ (1, 1, 64); (4, 2, 64); (8, 1, 32); (2, 4, 128) ];
+      Core.Evaluate.clear_cache ())
+
 (* --- peak study (figure 2) -------------------------------------------------- *)
 
 let test_peak_monotone_in_factor () =
@@ -350,6 +381,7 @@ let () =
           Alcotest.test_case "daxpy" `Quick test_evaluate_daxpy;
           Alcotest.test_case "fallback" `Quick test_evaluate_fallback;
           Alcotest.test_case "memoized" `Quick test_evaluate_suite_memoized;
+          Alcotest.test_case "parallel determinism" `Slow test_evaluate_parallel_deterministic;
         ] );
       ( "peak_study",
         [

@@ -1,0 +1,126 @@
+(* Unit tests for the domain-pool executor: ordering, exception
+   propagation, nested maps, and pool lifecycle. *)
+
+module Pool = Wr_util.Pool
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_ordering () =
+  with_pool 4 (fun pool ->
+      let input = Array.init 1000 (fun i -> i) in
+      let out = Pool.parallel_map ~pool input ~f:(fun x -> x * x) in
+      Alcotest.(check int) "length" 1000 (Array.length out);
+      Array.iteri
+        (fun i v -> if v <> i * i then Alcotest.failf "out.(%d) = %d, want %d" i v (i * i))
+        out)
+
+let test_matches_sequential () =
+  with_pool 3 (fun pool ->
+      let input = Array.init 257 (fun i -> float_of_int i /. 7.0) in
+      let f x = sin x +. (x *. x) in
+      Alcotest.(check bool) "same as Array.map" true
+        (Pool.parallel_map ~pool input ~f = Array.map f input))
+
+let test_empty_and_singleton () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check int) "empty" 0 (Array.length (Pool.parallel_map ~pool [||] ~f:succ));
+      let one = Pool.parallel_map ~pool [| 41 |] ~f:succ in
+      Alcotest.(check bool) "singleton" true (one = [| 42 |]))
+
+let test_jobs_one_is_sequential () =
+  with_pool 1 (fun pool ->
+      (* A size-1 pool spawns no domains: f runs in the calling domain,
+         in order. *)
+      let trace = ref [] in
+      let out =
+        Pool.parallel_map ~pool
+          (Array.init 20 (fun i -> i))
+          ~f:(fun i ->
+            trace := i :: !trace;
+            i + 1)
+      in
+      Alcotest.(check (list int)) "in-order execution" (List.init 20 (fun i -> 19 - i)) !trace;
+      Alcotest.(check bool) "values" true (out = Array.init 20 (fun i -> i + 1)))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_pool 4 (fun pool ->
+      match
+        Pool.parallel_map ~pool
+          (Array.init 100 (fun i -> i))
+          ~f:(fun i -> if i = 63 then raise (Boom i) else i)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 63 -> ())
+
+let test_exception_leaves_pool_usable () =
+  with_pool 4 (fun pool ->
+      (match Pool.parallel_map ~pool [| 0; 1; 2 |] ~f:(fun _ -> failwith "boom") with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure _ -> ());
+      let out = Pool.parallel_map ~pool (Array.init 50 (fun i -> i)) ~f:(fun i -> 2 * i) in
+      Alcotest.(check bool) "pool still works" true (out = Array.init 50 (fun i -> 2 * i)))
+
+let test_nested_maps () =
+  (* Inner maps run on the same pool from within worker tasks; the
+     helping waiters make this deadlock-free even on a tiny pool. *)
+  with_pool 2 (fun pool ->
+      let out =
+        Pool.parallel_map ~pool
+          (Array.init 8 (fun i -> i))
+          ~f:(fun i ->
+            let inner =
+              Pool.parallel_map ~pool (Array.init 50 (fun j -> j)) ~f:(fun j -> (i * 50) + j)
+            in
+            Array.fold_left ( + ) 0 inner)
+      in
+      let expected i = Array.fold_left ( + ) 0 (Array.init 50 (fun j -> (i * 50) + j)) in
+      Alcotest.(check bool) "nested sums" true (out = Array.init 8 expected))
+
+let test_list_map () =
+  with_pool 4 (fun pool ->
+      let l = List.init 333 (fun i -> i) in
+      Alcotest.(check (list int)) "order preserved" (List.map succ l)
+        (Pool.parallel_list_map ~pool l ~f:succ))
+
+let test_create_rejects_zero () =
+  match Pool.create ~jobs:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_jobs_accessor () =
+  with_pool 5 (fun pool -> Alcotest.(check int) "jobs" 5 (Pool.jobs pool));
+  Alcotest.(check bool) "default_jobs positive" true (Pool.default_jobs () >= 1)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "parallel_map",
+        [
+          Alcotest.test_case "preserves order" `Quick test_ordering;
+          Alcotest.test_case "matches Array.map" `Quick test_matches_sequential;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "jobs=1 sequential" `Quick test_jobs_one_is_sequential;
+          Alcotest.test_case "list map" `Quick test_list_map;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagates" `Quick test_exception_propagation;
+          Alcotest.test_case "pool survives" `Quick test_exception_leaves_pool_usable;
+        ] );
+      ("nesting", [ Alcotest.test_case "nested maps" `Quick test_nested_maps ]);
+      ( "lifecycle",
+        [
+          Alcotest.test_case "jobs >= 1 enforced" `Quick test_create_rejects_zero;
+          Alcotest.test_case "jobs accessor" `Quick test_jobs_accessor;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+    ]
