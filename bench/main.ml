@@ -23,7 +23,7 @@ let experiments =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig2"; "fig3"; "fig4";
     "fig6"; "fig7"; "fig8"; "fig9"; "conclusion"; "ablation-compact"; "ablation-levers";
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
-    "endtoend"; "parspeed" ]
+    "endtoend"; "parspeed"; "schedmicro" ]
 
 let usage () =
   Printf.eprintf
@@ -193,40 +193,14 @@ let run_experiment id =
   | "fig2" ->
       let t = Core.Peak_study.run loops in
       print_string (Core.Peak_study.to_text t);
-      write_csv "fig2"
-        [ "factor"; "config"; "speedup" ]
-        (List.concat_map
-           (fun (factor, points) ->
-             List.map
-               (fun (p : Core.Peak_study.point) ->
-                 [
-                   string_of_int factor;
-                   Config.label_short p.Core.Peak_study.config;
-                   Printf.sprintf "%.4f" p.Core.Peak_study.speedup;
-                 ])
-               points)
-           t);
+      write_csv "fig2" Core.Csv_export.fig2_header (Core.Csv_export.fig2_rows t);
       paper_note
         "Paper shape: Xw1 saturates near 10, 1wY near 5, 2wY in between; Xw2 tracks Xw1 \
          closely."
   | "fig3" ->
       let t = Core.Spill_study.run ~suite_id loops in
       print_string (Core.Spill_study.to_text t);
-      write_csv "fig3"
-        [ "config"; "registers"; "speedup" ]
-        (List.concat_map
-           (fun (r : Core.Spill_study.row) ->
-             List.map
-               (fun (z, cell) ->
-                 [
-                   Config.label_short r.Core.Spill_study.config;
-                   string_of_int z;
-                   (match cell with
-                   | Core.Spill_study.Speedup s -> Printf.sprintf "%.4f" s
-                   | Core.Spill_study.Not_schedulable -> "NA");
-                 ])
-               r.Core.Spill_study.cells)
-           t);
+      write_csv "fig3" Core.Csv_export.fig3_header (Core.Csv_export.fig3_rows t);
       paper_note
         "Paper shape: 8w1/32 unschedulable; 4w2 beats 8w1 at 64 and 128 registers; 1w2 \
          saturates by 64 registers."
@@ -250,22 +224,7 @@ let run_experiment id =
   | "fig9" ->
       let t = Core.Tradeoff.figure9 ~suite_id loops in
       print_string (Core.Tradeoff.figure9_text t);
-      write_csv "fig9"
-        [ "year"; "config"; "tc"; "speedup"; "die_percent" ]
-        (List.concat_map
-           (fun ((g : Wr_cost.Sia.generation), points) ->
-             List.map
-               (fun (p : Core.Tradeoff.point) ->
-                 [
-                   string_of_int g.Wr_cost.Sia.year;
-                   Config.label p.Core.Tradeoff.config;
-                   Printf.sprintf "%.3f" p.Core.Tradeoff.tc;
-                   Printf.sprintf "%.4f" p.Core.Tradeoff.speedup;
-                   Printf.sprintf "%.2f"
-                     (100.0 *. p.Core.Tradeoff.area /. g.Wr_cost.Sia.lambda2_per_chip);
-                 ])
-               points)
-           t);
+      write_csv "fig9" Core.Csv_export.fig9_header (Core.Csv_export.fig9_rows t);
       paper_note
         "Paper shape: top-five lists are dominated by small replication x widening mixes; \
          the most aggressive configurations never appear."
@@ -384,6 +343,79 @@ let run_experiment id =
             bit-identical to the sequential engine."
            par_jobs
            (Domain.recommended_domain_count ()))
+  | "schedmicro" ->
+      (* Scheduler microbenchmark: Modulo.run alone — no widening, no
+         register allocation, no study logic — on the suite loops that
+         make the scheduler work hardest.  A ranking pass schedules
+         every loop once at 4w2 and keeps the ~20 with the most
+         placement steps; each survivor is then timed over [reps]
+         repeated runs.  BENCH_sched.json records the per-loop wall
+         times and the total so the scheduler's perf trajectory is
+         tracked commit over commit. *)
+      let config = Config.xwy ~x:4 ~y:2 () in
+      let resource = Wr_machine.Resource.of_config config in
+      let cm = Cycle_model.Cycles_4 in
+      let top_n = 20 and reps = 10 in
+      let ranked =
+        Array.to_list
+          (Array.mapi
+             (fun i (loop : Wr_ir.Loop.t) ->
+               let prepared, _ =
+                 Wr_widen.Transform.widen loop ~width:config.Config.width
+               in
+               let ddg = prepared.Wr_ir.Loop.ddg in
+               let r = Wr_sched.Modulo.run resource ~cycle_model:cm ddg in
+               (loop.Wr_ir.Loop.name, i, ddg, r.Wr_sched.Modulo.placements))
+             loops)
+      in
+      let ranked =
+        (* Most placement steps first; ties broken by suite position so
+           the selection is deterministic. *)
+        List.sort
+          (fun (_, i, _, a) (_, j, _, b) ->
+            if a <> b then compare b a else compare i j)
+          ranked
+      in
+      let top = List.filteri (fun i _ -> i < top_n) ranked in
+      let timed =
+        List.map
+          (fun (name, index, ddg, placements) ->
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to reps do
+              ignore (Wr_sched.Modulo.run resource ~cycle_model:cm ddg)
+            done;
+            let per_run = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+            (name, index, placements, per_run))
+          top
+      in
+      let total = List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 timed in
+      Printf.printf "%-28s %6s %10s %12s\n" "loop" "index" "placements" "ms/run";
+      List.iter
+        (fun (name, index, placements, s) ->
+          Printf.printf "%-28s %6d %10d %12.3f\n" name index placements (s *. 1e3))
+        timed;
+      Printf.printf "total: %.3f ms over the top %d loops (%d reps each, 4w2, Cycles_4)\n"
+        (total *. 1e3) (List.length timed) reps;
+      let path = "BENCH_sched.json" in
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc
+            "{\n  \"suite\": \"%s\",\n  \"config\": \"4w2\",\n  \"cycle_model\": 4,\n\
+            \  \"reps\": %d,\n  \"loops\": [\n%s\n  ],\n  \"total_s\": %.6f\n}\n"
+            (json_escape suite_id) reps
+            (String.concat ",\n"
+               (List.map
+                  (fun (name, index, placements, s) ->
+                    Printf.sprintf
+                      "    { \"name\": \"%s\", \"index\": %d, \"placements\": %d, \
+                       \"wall_s\": %.6f }"
+                      (json_escape name) index placements s)
+                  timed))
+            total);
+      Printf.printf "[json] wrote %s\n%!" path;
+      record_wall "schedmicro/top-loops-total" total;
+      paper_note
+        "Engine microbenchmark: isolates the modulo scheduler's wall time from the rest of \
+         the evaluation pipeline."
   | _ -> usage ());
   record_wall id (Unix.gettimeofday () -. started);
   Printf.printf "[%s generated in %.1fs]\n" id (Unix.gettimeofday () -. started);

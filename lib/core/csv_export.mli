@@ -1,0 +1,19 @@
+(** Canonical CSV serialisations of the figure studies — the single
+    source of truth for the [results/fig{2,3,9}.csv] format, shared by
+    the bench harness and the golden-file tests. *)
+
+val fig2_header : string list
+
+val fig2_rows : Peak_study.t -> string list list
+
+val fig3_header : string list
+
+val fig3_rows : Spill_study.t -> string list list
+
+val fig9_header : string list
+
+val fig9_rows : (Wr_cost.Sia.generation * Tradeoff.point list) list -> string list list
+
+val to_string : header:string list -> string list list -> string
+(** The full file contents: header line plus one line per row, each
+    comma-joined and newline-terminated. *)

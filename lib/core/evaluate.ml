@@ -14,7 +14,16 @@ type loop_result = {
   spill_stores : int;
   spill_loads : int;
   pipelined : bool;
+  mii : int;
+  trip_count : int;
 }
+
+(* Total full-pipeline evaluations performed (scheduler actually
+   invoked, as opposed to answered from the loop-level cache); a test
+   hook for the caching discipline. *)
+let eval_count = Atomic.make 0
+
+let evaluations () = Atomic.get eval_count
 
 (* Sequential fallback: iterations execute back-to-back with no
    software pipelining.  The per-iteration cost is the flat schedule's
@@ -44,6 +53,7 @@ let sequential_cost ~cycle_model g =
   resource_free
 
 let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
+  Atomic.incr eval_count;
   (* The body is widened for the machine's width but NOT unrolled by
      the bus count: like the paper's compiler, the scheduler works on
      the loop as written, so the initiation interval (and with it the
@@ -64,6 +74,8 @@ let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
         spill_stores = s.Driver.stores_added;
         spill_loads = s.Driver.loads_added;
         pipelined = true;
+        mii = s.Driver.mii;
+        trip_count = prepared.Loop.trip_count;
       }
   | Driver.Unschedulable _ ->
       let resource_free = sequential_cost ~cycle_model prepared.Loop.ddg in
@@ -84,6 +96,8 @@ let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
         spill_stores = 0;
         spill_loads = 0;
         pipelined = false;
+        mii = r.Wr_sched.Modulo.mii;
+        trip_count = prepared.Loop.trip_count;
       }
 
 type aggregate = {
@@ -96,19 +110,29 @@ type aggregate = {
   total_loads : int;
 }
 
-(* Thread-safety discipline: the memo table is shared across the pool's
-   domains and every access goes through [cache_mutex].  Lookups and
-   stores are short critical sections; the evaluation itself runs
+(* Thread-safety discipline: both memo tables are shared across the
+   pool's domains and every access goes through [cache_mutex].  Lookups
+   and stores are short critical sections; the evaluation itself runs
    outside the lock, so two domains racing on the same key at most
    duplicate a deterministic computation and [Hashtbl.replace] makes
-   the second store a no-op in effect. *)
+   the second store a no-op in effect.
+
+   Two levels: [cache] memoizes whole-suite aggregates (the technology
+   studies revisit operating points), while [loop_cache] memoizes
+   individual loop evaluations keyed by (suite, loop index, machine
+   point) so that different studies — and different aggregations over
+   the same suite — share the expensive schedule-and-allocate work. *)
 let cache : (string * int * int * int * int, aggregate) Hashtbl.t = Hashtbl.create 256
+
+let loop_cache : (string * int * int * int * int * int, loop_result) Hashtbl.t =
+  Hashtbl.create 4096
 
 let cache_mutex = Mutex.create ()
 
 let clear_cache () =
   Mutex.lock cache_mutex;
   Hashtbl.reset cache;
+  Hashtbl.reset loop_cache;
   Mutex.unlock cache_mutex
 
 let cache_find key =
@@ -122,6 +146,35 @@ let cache_store key agg =
   Hashtbl.replace cache key agg;
   Mutex.unlock cache_mutex
 
+let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
+  let key =
+    ( suite_id,
+      index,
+      c.Config.buses,
+      c.Config.width,
+      registers,
+      Cycle_model.cycles cycle_model )
+  in
+  Mutex.lock cache_mutex;
+  let hit = Hashtbl.find_opt loop_cache key in
+  Mutex.unlock cache_mutex;
+  match hit with
+  | Some r -> r
+  | None ->
+      let r = loop_on c ~cycle_model ~registers loop in
+      Mutex.lock cache_mutex;
+      (* First store wins so concurrent callers settle on one physical
+         result record. *)
+      let stored =
+        match Hashtbl.find_opt loop_cache key with
+        | Some r' -> r'
+        | None ->
+            Hashtbl.add loop_cache key r;
+            r
+      in
+      Mutex.unlock cache_mutex;
+      stored
+
 let suite_on ?pool ~suite_id (c : Config.t) ~cycle_model ~registers loops =
   let key =
     (suite_id, c.Config.buses, c.Config.width, registers, Cycle_model.cycles cycle_model)
@@ -133,9 +186,10 @@ let suite_on ?pool ~suite_id (c : Config.t) ~cycle_model ~registers loops =
          pool.  The fold below walks the order-preserving result array
          sequentially, so float accumulation order — and with it the
          aggregate, bit for bit — is identical for any pool size. *)
+      let indexed = Array.mapi (fun i loop -> (i, loop)) loops in
       let results =
-        Wr_util.Pool.parallel_map ?pool loops ~f:(fun loop ->
-            loop_on c ~cycle_model ~registers loop)
+        Wr_util.Pool.parallel_map ?pool indexed ~f:(fun (i, loop) ->
+            loop_cached ~suite_id ~index:i c ~cycle_model ~registers loop)
       in
       let total_cycles = ref 0.0 in
       let unpipelined = ref 0 and spilled = ref 0 in

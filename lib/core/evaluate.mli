@@ -35,6 +35,8 @@ type loop_result = {
   spill_stores : int;
   spill_loads : int;
   pipelined : bool;
+  mii : int;  (** MII of the widened body (from the pre-spill graph) *)
+  trip_count : int;  (** trip count of the widened loop *)
 }
 
 val loop_on :
@@ -43,6 +45,27 @@ val loop_on :
   registers:int ->
   Wr_ir.Loop.t ->
   loop_result
+(** Uncached full-pipeline evaluation of one loop; increments
+    {!evaluations}. *)
+
+val loop_cached :
+  suite_id:string ->
+  index:int ->
+  Wr_machine.Config.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  registers:int ->
+  Wr_ir.Loop.t ->
+  loop_result
+(** Loop-level memo over {!loop_on}, keyed by
+    [(suite_id, index, buses, width, registers, cycle model)].
+    [suite_id] and [index] must uniquely name the loop passed.  Repeated
+    calls with one key return the physically same record; concurrent
+    callers settle on the first stored result.  Thread-safe. *)
+
+val evaluations : unit -> int
+(** Number of times {!loop_on} actually ran the widen/schedule/allocate
+    pipeline since process start (cache hits do not count) — a test
+    hook for the caching discipline. *)
 
 type aggregate = {
   total_cycles : float;  (** weighted cycles over all loops *)
@@ -71,3 +94,5 @@ val acceptable : aggregate -> bool
     carry at most 10% of the execution weight. *)
 
 val clear_cache : unit -> unit
+(** Drops both memo levels: the suite aggregates and the per-loop
+    results. *)

@@ -1,10 +1,8 @@
 module Config = Wr_machine.Config
 module Cycle_model = Wr_machine.Cycle_model
-module Resource = Wr_machine.Resource
 module Loop = Wr_ir.Loop
 module Ddg = Wr_ir.Ddg
 module Opcode = Wr_ir.Opcode
-module Driver = Wr_regalloc.Driver
 
 type cell = {
   config : Config.t;
@@ -31,34 +29,36 @@ type loop_response = {
   r_spill : float;
 }
 
-let classify resource ~registers:z ~width:y (loop : Loop.t) =
-  let wide, _ = Wr_widen.Transform.widen loop ~width:y in
+(* The schedule-and-allocate outcome comes through the loop-level cache
+   ({!Evaluate.loop_cached}), so grid cells that share a machine point
+   with other studies in the same process reuse their work; the spill
+   and slowdown classification reads the cached result's fields. *)
+let classify ~suite_id ~index config ~registers:z (loop : Loop.t) =
   (* Program traffic in scalar words per source execution. *)
   let mem_ops = Ddg.scalar_count_class loop.Loop.ddg Opcode.Bus in
   let r_program = float_of_int (mem_ops * loop.Loop.trip_count) *. loop.Loop.weight in
-  match Driver.run resource ~cycle_model:cm ~registers:z wide.Loop.ddg with
-  | Driver.Scheduled s when s.Driver.stores_added + s.Driver.loads_added > 0 ->
-      let extra_static = s.Driver.stores_added + s.Driver.loads_added in
-      {
-        r_spilled = true;
-        r_slowed = false;
-        r_failed = false;
-        r_program;
-        r_spill = float_of_int (extra_static * wide.Loop.trip_count) *. loop.Loop.weight;
-      }
-  | Driver.Scheduled s ->
-      {
-        r_spilled = false;
-        r_slowed = s.Driver.schedule.Wr_sched.Schedule.ii > s.Driver.mii;
-        r_failed = false;
-        r_program;
-        r_spill = 0.0;
-      }
-  | Driver.Unschedulable _ ->
-      { r_spilled = false; r_slowed = false; r_failed = true; r_program; r_spill = 0.0 }
+  let r = Evaluate.loop_cached ~suite_id ~index config ~cycle_model:cm ~registers:z loop in
+  let spill_static = r.Evaluate.spill_stores + r.Evaluate.spill_loads in
+  if not r.Evaluate.pipelined then
+    { r_spilled = false; r_slowed = false; r_failed = true; r_program; r_spill = 0.0 }
+  else if spill_static > 0 then
+    {
+      r_spilled = true;
+      r_slowed = false;
+      r_failed = false;
+      r_program;
+      r_spill = float_of_int (spill_static * r.Evaluate.trip_count) *. loop.Loop.weight;
+    }
+  else
+    {
+      r_spilled = false;
+      r_slowed = r.Evaluate.ii > r.Evaluate.mii;
+      r_failed = false;
+      r_program;
+      r_spill = 0.0;
+    }
 
 let run ?(registers = [ 32; 64; 128 ]) ?(suite_id = "traffic") loops =
-  ignore suite_id;
   (* Grid cells in parallel; within a cell the loops are classified in
      parallel and the responses folded in input order, keeping the
      traffic sums bit-identical for any pool size. *)
@@ -67,9 +67,10 @@ let run ?(registers = [ 32; 64; 128 ]) ?(suite_id = "traffic") loops =
       List.map
         (fun z ->
           let config = Config.xwy ~registers:z ~x ~y () in
-          let resource = Resource.of_config config in
+          let indexed = Array.mapi (fun i loop -> (i, loop)) loops in
           let responses =
-            Wr_util.Pool.parallel_map loops ~f:(classify resource ~registers:z ~width:y)
+            Wr_util.Pool.parallel_map indexed ~f:(fun (i, loop) ->
+                classify ~suite_id ~index:i config ~registers:z loop)
           in
           let spilled = ref 0 and slowed = ref 0 and failed = ref 0 in
           let program_traffic = ref 0.0 and spill_traffic = ref 0.0 in

@@ -1,3 +1,15 @@
+type edge_view = {
+  n_edges : int;
+  e_src : int array;
+  e_dst : int array;
+  e_dist : int array;
+  e_kind : Dependence.kind array;
+  succ_off : int array;  (* n_ops+1 row starts into succ_edges *)
+  succ_edges : int array;  (* edge ids grouped by source, ascending *)
+  pred_off : int array;
+  pred_edges : int array;  (* edge ids grouped by destination, ascending *)
+}
+
 type t = {
   ops : Operation.t array;
   num_vregs : int;
@@ -6,7 +18,50 @@ type t = {
   pred : Dependence.t list array;
   def_site : int option array;  (* vreg -> defining op *)
   users : int list array;  (* vreg -> using ops, ascending *)
+  view : edge_view;
+  (* Derived per-cycle-model data, memoized on the graph so the many
+     scheduler invocations Driver.run makes against one body pay for it
+     once.  Guarded by [cache_mutex]: the graph itself is immutable and
+     shared across pool domains, and a racing recomputation is merely a
+     duplicated deterministic computation. *)
+  cache_mutex : Mutex.t;
+  mutable delay_cache : (int * int array) list;
+  mutable rec_cache : (int * (int * int array)) list;
 }
+
+let compile_edges ~n edges =
+  let n_edges = List.length edges in
+  let e_src = Array.make n_edges 0
+  and e_dst = Array.make n_edges 0
+  and e_dist = Array.make n_edges 0
+  and e_kind = Array.make n_edges Dependence.Flow in
+  List.iteri
+    (fun i (e : Dependence.t) ->
+      e_src.(i) <- e.src;
+      e_dst.(i) <- e.dst;
+      e_dist.(i) <- e.distance;
+      e_kind.(i) <- e.kind)
+    edges;
+  let csr endpoint =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n_edges - 1 do
+      off.(endpoint.(i) + 1) <- off.(endpoint.(i) + 1) + 1
+    done;
+    for v = 0 to n - 1 do
+      off.(v + 1) <- off.(v + 1) + off.(v)
+    done;
+    let ids = Array.make n_edges 0 in
+    let cursor = Array.copy off in
+    for i = 0 to n_edges - 1 do
+      let v = endpoint.(i) in
+      ids.(cursor.(v)) <- i;
+      cursor.(v) <- cursor.(v) + 1
+    done;
+    (off, ids)
+  in
+  let succ_off, succ_edges = csr e_src in
+  let pred_off, pred_edges = csr e_dst in
+  { n_edges; e_src; e_dst; e_dist; e_kind; succ_off; succ_edges; pred_off; pred_edges }
 
 let validate_ops ops num_vregs =
   Array.iteri
@@ -85,7 +140,66 @@ let create ~num_vregs ~ops ~edges =
       List.iter (fun r -> users.(r) <- o.id :: users.(r)) o.uses)
     ops;
   Array.iteri (fun r l -> users.(r) <- List.rev l) users;
-  { ops; num_vregs; edges; succ; pred; def_site; users }
+  {
+    ops;
+    num_vregs;
+    edges;
+    succ;
+    pred;
+    def_site;
+    users;
+    view = compile_edges ~n edges;
+    cache_mutex = Mutex.create ();
+    delay_cache = [];
+    rec_cache = [];
+  }
+
+let edge_view t = t.view
+
+let edge_delays t ~key ~producer_latency =
+  Mutex.lock t.cache_mutex;
+  let hit = List.assoc_opt key t.delay_cache in
+  Mutex.unlock t.cache_mutex;
+  match hit with
+  | Some d -> d
+  | None ->
+      (* Computed outside the lock: deterministic, so a racing domain at
+         worst duplicates the work and the first store wins. *)
+      let v = t.view in
+      let d =
+        Array.init v.n_edges (fun e ->
+            Dependence.delay_rule v.e_kind.(e)
+              ~producer_latency:(producer_latency t.ops.(v.e_src.(e))))
+      in
+      Mutex.lock t.cache_mutex;
+      let stored =
+        match List.assoc_opt key t.delay_cache with
+        | Some d' -> d'
+        | None ->
+            t.delay_cache <- (key, d) :: t.delay_cache;
+            d
+      in
+      Mutex.unlock t.cache_mutex;
+      stored
+
+let cached_rec_info t ~key ~compute =
+  Mutex.lock t.cache_mutex;
+  let hit = List.assoc_opt key t.rec_cache in
+  Mutex.unlock t.cache_mutex;
+  match hit with
+  | Some info -> info
+  | None ->
+      let info = compute () in
+      Mutex.lock t.cache_mutex;
+      let stored =
+        match List.assoc_opt key t.rec_cache with
+        | Some info' -> info'
+        | None ->
+            t.rec_cache <- (key, info) :: t.rec_cache;
+            info
+      in
+      Mutex.unlock t.cache_mutex;
+      stored
 
 let num_ops t = Array.length t.ops
 let num_vregs t = t.num_vregs

@@ -22,6 +22,45 @@ val ops : t -> Operation.t array
 (** The returned array must not be mutated. *)
 
 val edges : t -> Dependence.t list
+
+type edge_view = {
+  n_edges : int;
+  e_src : int array;  (** source op of edge [e] *)
+  e_dst : int array;  (** destination op of edge [e] *)
+  e_dist : int array;  (** iteration distance of edge [e] *)
+  e_kind : Dependence.kind array;
+  succ_off : int array;
+      (** CSR row starts: the out-edges of op [v] are
+          [succ_edges.(succ_off.(v)) .. succ_edges.(succ_off.(v+1) - 1)] *)
+  succ_edges : int array;  (** edge ids grouped by source, ascending *)
+  pred_off : int array;
+  pred_edges : int array;  (** edge ids grouped by destination, ascending *)
+}
+(** Flat, cache-friendly mirror of {!edges}: parallel [int] arrays
+    indexed by edge id (the edge's position in the {!edges} list) plus
+    CSR adjacency in both directions.  The scheduler's inner loops
+    (Bellman-Ford relaxations, dependence-window scans) iterate these
+    arrays instead of chasing list links and record fields.  The arrays
+    must not be mutated. *)
+
+val edge_view : t -> edge_view
+(** Precomputed at {!create}; O(1). *)
+
+val edge_delays : t -> key:int -> producer_latency:(Operation.t -> int) -> int array
+(** Per-edge dependence delays ({!Dependence.delay_rule} applied to the
+    producing operation), as an array indexed by edge id.  Memoized on
+    the graph under the caller-chosen [key] (the scheduler uses the
+    cycle-model's cycle count), so repeated scheduling of one body pays
+    for the latency lookups once.  [producer_latency] must be a pure
+    function of the operation consistent with [key].  Thread-safe; the
+    returned array must not be mutated. *)
+
+val cached_rec_info : t -> key:int -> compute:(unit -> int * int array) -> int * int array
+(** Generic per-graph memo slot for recurrence analysis keyed like
+    {!edge_delays} (the scheduler stores [(RecMII, per-op component
+    RecMII)] per cycle model).  [compute] runs outside the lock and
+    must be deterministic; the first stored value wins.  Thread-safe. *)
+
 val succs : t -> int -> Dependence.t list
 (** Outgoing edges of an operation. *)
 

@@ -5,10 +5,11 @@ module Cycle_model = Wr_machine.Cycle_model
 module Resource = Wr_machine.Resource
 module Scc = Wr_ir.Scc
 
-let delay ~cycle_model g (e : Dependence.t) =
-  let src = Ddg.op g e.src in
-  Dependence.delay_rule e.kind
-    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
+let edge_delays ~cycle_model g =
+  Ddg.edge_delays g
+    ~key:(Cycle_model.cycles cycle_model)
+    ~producer_latency:(fun (op : Operation.t) ->
+      Cycle_model.latency_of_op cycle_model op.Operation.opcode)
 
 let res_mii resource ~cycle_model g =
   let bus, fpu = Resource.total_slot_demand resource ~cycle_model g in
@@ -19,44 +20,70 @@ let res_mii resource ~cycle_model g =
        (per_class fpu (Resource.slots resource Wr_ir.Opcode.Fpu)))
 
 (* Positive-cycle detection on weights [delay - ii * distance],
-   restricted to the given vertex subset (component).  Bellman-Ford
-   with all-zero initial potentials: a relaxation still possible after
-   |subset| passes exposes a positive cycle. *)
-let feasible ~cycle_model g ~subset ~edges ~ii =
-  let n = Ddg.num_ops g in
-  let dist = Array.make n 0 in
-  let count = List.length subset in
+   restricted to one strongly connected component.  Bellman-Ford with
+   all-zero initial potentials over the flat edge arrays: a relaxation
+   still possible after [count] passes exposes a positive cycle; a pass
+   that changes nothing ends the scan early.  [dist] is caller-owned
+   scratch (only the [subset] entries are touched). *)
+let feasible (view : Ddg.edge_view) delays ~dist ~subset ~count ~edge_ids ~ii =
+  List.iter (fun v -> dist.(v) <- 0) subset;
+  let m = Array.length edge_ids in
   let changed = ref true in
   let pass = ref 0 in
   while !changed && !pass <= count do
     changed := false;
-    List.iter
-      (fun (e : Dependence.t) ->
-        let w = delay ~cycle_model g e - (ii * e.distance) in
-        if dist.(e.src) + w > dist.(e.dst) then begin
-          dist.(e.dst) <- dist.(e.src) + w;
-          changed := true
-        end)
-      edges;
+    for k = 0 to m - 1 do
+      let e = edge_ids.(k) in
+      let nd = dist.(view.Ddg.e_src.(e)) + delays.(e) - (ii * view.Ddg.e_dist.(e)) in
+      if nd > dist.(view.Ddg.e_dst.(e)) then begin
+        dist.(view.Ddg.e_dst.(e)) <- nd;
+        changed := true
+      end
+    done;
     incr pass
   done;
   not !changed
 
-let rec_mii_of_component ~cycle_model g ~subset ~edges =
-  match edges with
-  | [] -> 1
-  | _ ->
-      let hi =
-        Stdlib.max 1 (List.fold_left (fun acc e -> acc + delay ~cycle_model g e) 0 edges)
-      in
-      let rec search lo hi =
-        if lo >= hi then lo
-        else
-          let mid = (lo + hi) / 2 in
-          if feasible ~cycle_model g ~subset ~edges ~ii:mid then search lo mid
-          else search (mid + 1) hi
-      in
-      search 1 hi
+let rec_mii_of_component view delays ~dist ~subset ~edge_ids =
+  if Array.length edge_ids = 0 then 1
+  else begin
+    (* The binary search probes share [dist] and the precomputed
+       [count]; nothing is allocated per probe. *)
+    let count = List.length subset in
+    let hi =
+      Stdlib.max 1 (Array.fold_left (fun acc e -> acc + delays.(e)) 0 edge_ids)
+    in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if feasible view delays ~dist ~subset ~count ~edge_ids ~ii:mid then search lo mid
+        else search (mid + 1) hi
+    in
+    search 1 hi
+  end
+
+(* Intra-component edge ids, CSR-packed by component (ascending edge id
+   within each component). *)
+let component_edges (r : Scc.result) (view : Ddg.edge_view) =
+  let off = Array.make (r.Scc.count + 1) 0 in
+  for e = 0 to view.Ddg.n_edges - 1 do
+    let c = r.Scc.component.(view.Ddg.e_src.(e)) in
+    if c = r.Scc.component.(view.Ddg.e_dst.(e)) then off.(c + 1) <- off.(c + 1) + 1
+  done;
+  for c = 0 to r.Scc.count - 1 do
+    off.(c + 1) <- off.(c + 1) + off.(c)
+  done;
+  let ids = Array.make off.(r.Scc.count) 0 in
+  let cursor = Array.copy off in
+  for e = 0 to view.Ddg.n_edges - 1 do
+    let c = r.Scc.component.(view.Ddg.e_src.(e)) in
+    if c = r.Scc.component.(view.Ddg.e_dst.(e)) then begin
+      ids.(cursor.(c)) <- e;
+      cursor.(c) <- cursor.(c) + 1
+    end
+  done;
+  fun c -> Array.sub ids off.(c) (off.(c + 1) - off.(c))
 
 (* Recurrence work is confined to strongly connected components, so we
    bound each component separately: the graph-wide RecMII is the
@@ -64,78 +91,91 @@ let rec_mii_of_component ~cycle_model g ~subset ~edges =
    the scheduler's criticality ordering. *)
 let component_rec_miis ~cycle_model g =
   let r = Ddg.scc g in
+  let view = Ddg.edge_view g in
+  let delays = edge_delays ~cycle_model g in
   let comps = Scc.members r in
-  let edges_of = Array.make r.Scc.count [] in
-  List.iter
-    (fun (e : Dependence.t) ->
-      let c = r.Scc.component.(e.src) in
-      if c = r.Scc.component.(e.dst) then edges_of.(c) <- e :: edges_of.(c))
-    (Ddg.edges g);
+  let edges_of = component_edges r view in
+  let dist = Array.make (Ddg.num_ops g) 0 in
   let values =
     Array.mapi
-      (fun c subset -> rec_mii_of_component ~cycle_model g ~subset ~edges:edges_of.(c))
+      (fun c subset -> rec_mii_of_component view delays ~dist ~subset ~edge_ids:(edges_of c))
       comps
   in
   (r, values)
 
-let rec_mii ~cycle_model g =
-  let _, values = component_rec_miis ~cycle_model g in
-  Array.fold_left Stdlib.max 1 values
+(* RecMII and the per-op component RecMII, memoized on the graph per
+   cycle model: Driver.run's II-escalation and spill loops re-enter the
+   scheduler on one body many times, and the recurrence analysis is
+   identical each time. *)
+let rec_info ~cycle_model g =
+  Ddg.cached_rec_info g
+    ~key:(Cycle_model.cycles cycle_model)
+    ~compute:(fun () ->
+      let r, values = component_rec_miis ~cycle_model g in
+      let rec_mii = Array.fold_left Stdlib.max 1 values in
+      let per_op = Array.map (fun c -> values.(c)) r.Scc.component in
+      (rec_mii, per_op))
+
+let rec_mii ~cycle_model g = fst (rec_info ~cycle_model g)
 
 let mii resource ~cycle_model g =
   Stdlib.max (res_mii resource ~cycle_model g) (rec_mii ~cycle_model g)
 
 (* Fractional feasibility: no cycle with sum(delay) - rate*sum(dist) > 0. *)
-let feasible_rate ~cycle_model g ~subset ~edges ~rate =
-  let n = Ddg.num_ops g in
-  let dist = Array.make n 0.0 in
-  let count = List.length subset in
+let feasible_rate (view : Ddg.edge_view) delays ~dist ~subset ~count ~edge_ids ~rate =
+  List.iter (fun v -> dist.(v) <- 0.0) subset;
+  let m = Array.length edge_ids in
   let changed = ref true in
   let pass = ref 0 in
   while !changed && !pass <= count do
     changed := false;
-    List.iter
-      (fun (e : Dependence.t) ->
-        let w = float_of_int (delay ~cycle_model g e) -. (rate *. float_of_int e.distance) in
-        if dist.(e.src) +. w > dist.(e.dst) +. 1e-9 then begin
-          dist.(e.dst) <- dist.(e.src) +. w;
-          changed := true
-        end)
-      edges;
+    for k = 0 to m - 1 do
+      let e = edge_ids.(k) in
+      let w =
+        float_of_int delays.(e) -. (rate *. float_of_int view.Ddg.e_dist.(e))
+      in
+      let nd = dist.(view.Ddg.e_src.(e)) +. w in
+      if nd > dist.(view.Ddg.e_dst.(e)) +. 1e-9 then begin
+        dist.(view.Ddg.e_dst.(e)) <- nd;
+        changed := true
+      end
+    done;
     incr pass
   done;
   not !changed
 
 let rec_rate ~cycle_model g =
   let r = Ddg.scc g in
+  let view = Ddg.edge_view g in
+  let delays = edge_delays ~cycle_model g in
   let comps = Scc.members r in
-  let edges_of = Array.make r.Scc.count [] in
-  List.iter
-    (fun (e : Dependence.t) ->
-      let c = r.Scc.component.(e.src) in
-      if c = r.Scc.component.(e.dst) then edges_of.(c) <- e :: edges_of.(c))
-    (Ddg.edges g);
-  let component_rate c subset =
-    match edges_of.(c) with
-    | [] -> 0.0
-    | edges ->
-        let hi =
-          Stdlib.max 1.0
-            (float_of_int (List.fold_left (fun acc e -> acc + delay ~cycle_model g e) 0 edges))
-        in
-        let rec search lo hi iters =
-          if iters = 0 then hi
-          else
-            let mid = (lo +. hi) /. 2.0 in
-            if feasible_rate ~cycle_model g ~subset ~edges ~rate:mid then search lo mid (iters - 1)
-            else search mid hi (iters - 1)
-        in
-        search 0.0 hi 40
+  let edges_of = component_edges r view in
+  let dist = Array.make (Ddg.num_ops g) 0.0 in
+  let component_rate subset edge_ids =
+    if Array.length edge_ids = 0 then 0.0
+    else begin
+      let count = List.length subset in
+      let hi =
+        Stdlib.max 1.0
+          (float_of_int (Array.fold_left (fun acc e -> acc + delays.(e)) 0 edge_ids))
+      in
+      let rec search lo hi iters =
+        if iters = 0 then hi
+        else
+          let mid = (lo +. hi) /. 2.0 in
+          if feasible_rate view delays ~dist ~subset ~count ~edge_ids ~rate:mid then
+            search lo mid (iters - 1)
+          else search mid hi (iters - 1)
+      in
+      search 0.0 hi 40
+    end
   in
   let best = ref 0.0 in
-  Array.iteri (fun c subset -> best := Stdlib.max !best (component_rate c subset)) comps;
+  Array.iteri
+    (fun c subset -> best := Stdlib.max !best (component_rate subset (edges_of c)))
+    comps;
   !best
 
 let critical_recurrence_ops ~cycle_model g ~ii =
-  let r, values = component_rec_miis ~cycle_model g in
-  Array.map (fun c -> values.(c) >= ii && values.(c) > 1) r.Scc.component
+  let _, per_op = rec_info ~cycle_model g in
+  Array.map (fun v -> v >= ii && v > 1) per_op

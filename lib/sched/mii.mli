@@ -5,6 +5,13 @@
     (RecMII) — paper Section 1 and the classic modulo scheduling
     literature (Rau, MICRO-27). *)
 
+val edge_delays :
+  cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> int array
+(** Per-edge dependence delays under a cycle model, indexed by edge id
+    (position in [Ddg.edges]); memoized on the graph.  Shared by every
+    scheduler kernel that walks the flat {!Wr_ir.Ddg.edge_view}.  The
+    returned array must not be mutated. *)
+
 val res_mii :
   Wr_machine.Resource.t -> cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> int
 (** Resource-constrained bound: for each resource class, the total

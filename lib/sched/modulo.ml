@@ -1,5 +1,4 @@
 module Ddg = Wr_ir.Ddg
-module Dependence = Wr_ir.Dependence
 module Operation = Wr_ir.Operation
 module Opcode = Wr_ir.Opcode
 module Cycle_model = Wr_machine.Cycle_model
@@ -15,70 +14,149 @@ type result = {
 
 let empty_schedule ~cycle_model = Schedule.make ~ii:1 ~times:[||] ~cycle_model
 
-let delay ~cycle_model g (e : Dependence.t) =
-  let src = Ddg.op g e.src in
-  Dependence.delay_rule e.kind
-    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
-
 (* height(v): longest weighted path out of v at the given II; the
    classic IMS priority.  Weights [delay - II * distance] admit no
-   positive cycle once II >= RecMII, so value iteration converges in at
-   most n passes. *)
-let heights ~cycle_model g ~ii =
-  let n = Ddg.num_ops g in
-  let h = Array.make n 0 in
+   positive cycle once II >= RecMII, so upward value iteration from
+   zero converges to the least fixpoint in at most n passes. *)
+let cold_heights (view : Ddg.edge_view) delays ~ii ~n h =
+  Array.fill h 0 n 0;
   let changed = ref true in
   let pass = ref 0 in
   while !changed && !pass <= n do
     changed := false;
-    List.iter
-      (fun (e : Dependence.t) ->
-        let w = delay ~cycle_model g e - (ii * e.distance) in
-        if w + h.(e.dst) > h.(e.src) then begin
-          h.(e.src) <- w + h.(e.dst);
-          changed := true
-        end)
-      (Ddg.edges g);
+    for e = 0 to view.Ddg.n_edges - 1 do
+      let w = delays.(e) - (ii * view.Ddg.e_dist.(e)) in
+      if w + h.(view.Ddg.e_dst.(e)) > h.(view.Ddg.e_src.(e)) then begin
+        h.(view.Ddg.e_src.(e)) <- w + h.(view.Ddg.e_dst.(e));
+        changed := true
+      end
+    done;
     incr pass
-  done;
+  done
+
+let heights ~cycle_model g ~ii =
+  let n = Ddg.num_ops g in
+  let h = Array.make n 0 in
+  cold_heights (Ddg.edge_view g) (Mii.edge_delays ~cycle_model g) ~ii ~n h;
   h
+
+(* Reusable per-run working set: the II-escalation loop re-arms these
+   buffers instead of allocating a fresh set per attempt. *)
+type scratch = {
+  n : int;
+  h : int array;
+  mutable h_ii : int;  (* II the heights currently describe; -1 = none *)
+  time : int array;
+  prev_time : int array;
+  scheduled : bool array;
+  order : int array;
+  position : int array;
+  op_cls : Opcode.resource_class array;
+  op_occ : int array;
+  mrt : Mrt.t;
+}
+
+let make_scratch resource ~cycle_model g =
+  let n = Ddg.num_ops g in
+  let ops = Ddg.ops g in
+  {
+    n;
+    h = Array.make n 0;
+    h_ii = -1;
+    time = Array.make n (-1);
+    prev_time = Array.make n (-1);
+    scheduled = Array.make n false;
+    order = Array.init n (fun i -> i);
+    position = Array.make n 0;
+    op_cls =
+      Array.map (fun (o : Operation.t) -> Opcode.resource_class o.Operation.opcode) ops;
+    op_occ =
+      Array.map
+        (fun (o : Operation.t) -> Cycle_model.occupancy cycle_model o.Operation.opcode)
+        ops;
+    mrt = Mrt.create ~ii:1 resource;
+  }
+
+(* Bring [s.h] to the heights for [ii].  When the scratch already holds
+   the heights of a smaller II and [ii > rec_mii], warm-start instead of
+   recomputing from zero: larger II means smaller edge weights, so the
+   previous fixpoint h0 satisfies F(h0) <= h0, and Gauss-Seidel
+   per-node recomputation from it decreases monotonically to the
+   fixpoint — which is unique above RecMII (every cycle weight is
+   strictly negative), hence exactly the cold-start least fixpoint.
+   The pass cap is a safety net only; on hitting it we recompute cold,
+   so the result never depends on the warm path converging. *)
+let heights_into (view : Ddg.edge_view) delays ~ii ~rec_mii s =
+  if s.h_ii <> ii then begin
+    let n = s.n and h = s.h in
+    let warm = s.h_ii >= 0 && s.h_ii < ii && ii > rec_mii in
+    let converged = ref false in
+    if warm then begin
+      let changed = ref true in
+      let pass = ref 0 in
+      while !changed && !pass <= n do
+        changed := false;
+        for v = 0 to n - 1 do
+          let nh = ref 0 in
+          for k = view.Ddg.succ_off.(v) to view.Ddg.succ_off.(v + 1) - 1 do
+            let e = view.Ddg.succ_edges.(k) in
+            let c = delays.(e) - (ii * view.Ddg.e_dist.(e)) + h.(view.Ddg.e_dst.(e)) in
+            if c > !nh then nh := c
+          done;
+          if !nh <> h.(v) then begin
+            h.(v) <- !nh;
+            changed := true
+          end
+        done;
+        incr pass
+      done;
+      converged := not !changed
+    end;
+    if not !converged then cold_heights view delays ~ii ~n h;
+    s.h_ii <- ii
+  end
 
 (* One scheduling attempt at a fixed II.  Returns the times array and
    the number of placements used, or None on budget exhaustion. *)
-let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
-  let n = Ddg.num_ops g in
-  let h = heights ~cycle_model g ~ii in
-  let mrt = Mrt.create ~ii resource in
-  let time = Array.make n (-1) in
-  let prev_time = Array.make n (-1) in
-  let scheduled = Array.make n false in
+let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~ordering s =
+  let n = s.n in
+  heights_into view delays ~ii ~rec_mii s;
+  let h = s.h in
+  Mrt.reset s.mrt ~ii;
+  let mrt = s.mrt in
+  let time = s.time
+  and prev_time = s.prev_time
+  and scheduled = s.scheduled
+  and op_cls = s.op_cls
+  and op_occ = s.op_occ in
+  Array.fill time 0 n (-1);
+  Array.fill prev_time 0 n (-1);
+  Array.fill scheduled 0 n false;
   let num_scheduled = ref 0 in
   let placements = ref 0 in
-  let cls i = Opcode.resource_class (Ddg.op g i).Operation.opcode in
-  let occ i = Cycle_model.occupancy cycle_model (Ddg.op g i).Operation.opcode in
   (* Static priority order.  IMS: critical recurrences first, then
      greater height, then lower id for determinism.  SMS: the
      lifetime-sensitive swing order.  A cursor walks the order;
      evictions rewind it, so pick() is O(1) amortized instead of a
      linear scan per placement. *)
-  let order =
-    match ordering with
-    | `Sms -> Sms_order.compute ~cycle_model g ~ii
-    | `Ims ->
-        let order = Array.init n (fun i -> i) in
-        Array.sort
-          (fun a b ->
-            match compare critical.(b) critical.(a) with
-            | 0 -> ( match compare h.(b) h.(a) with 0 -> compare a b | c -> c)
-            | c -> c)
-          order;
-        order
-  in
-  let position = Array.make n 0 in
+  let order = s.order in
+  (match ordering with
+  | `Sms -> Array.blit (Sms_order.compute ~cycle_model g ~ii) 0 order 0 n
+  | `Ims ->
+      (* The comparator is a total order, so sorting whatever
+         permutation the previous attempt left behind is
+         deterministic. *)
+      Array.sort
+        (fun a b ->
+          match compare critical.(b) critical.(a) with
+          | 0 -> ( match compare h.(b) h.(a) with 0 -> compare a b | c -> c)
+          | c -> c)
+        order);
+  let position = s.position in
   Array.iteri (fun pos i -> position.(i) <- pos) order;
   let cursor = ref 0 in
   let unschedule q =
-    Mrt.remove mrt (cls q) ~time:time.(q) ~occupancy:(occ q);
+    Mrt.remove mrt op_cls.(q) ~time:time.(q) ~occupancy:op_occ.(q);
     scheduled.(q) <- false;
     decr num_scheduled;
     if position.(q) < !cursor then cursor := position.(q)
@@ -90,26 +168,43 @@ let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
     order.(!cursor)
   in
   let estart op =
-    List.fold_left
-      (fun acc (e : Dependence.t) ->
-        if e.src <> op && scheduled.(e.src) then
-          Stdlib.max acc (time.(e.src) + delay ~cycle_model g e - (ii * e.distance))
-        else acc)
-      0 (Ddg.preds g op)
+    let acc = ref 0 in
+    for k = view.Ddg.pred_off.(op) to view.Ddg.pred_off.(op + 1) - 1 do
+      let e = view.Ddg.pred_edges.(k) in
+      let src = view.Ddg.e_src.(e) in
+      if src <> op && scheduled.(src) then begin
+        let b = time.(src) + delays.(e) - (ii * view.Ddg.e_dist.(e)) in
+        if b > !acc then acc := b
+      end
+    done;
+    !acc
   in
+  (* max_int means "no scheduled successor". *)
   let lend op =
-    List.fold_left
-      (fun acc (e : Dependence.t) ->
-        if e.dst <> op && scheduled.(e.dst) then
-          let bound = time.(e.dst) - delay ~cycle_model g e + (ii * e.distance) in
-          match acc with None -> Some bound | Some b -> Some (Stdlib.min b bound)
-        else acc)
-      None (Ddg.succs g op)
+    let acc = ref max_int in
+    for k = view.Ddg.succ_off.(op) to view.Ddg.succ_off.(op + 1) - 1 do
+      let e = view.Ddg.succ_edges.(k) in
+      let dst = view.Ddg.e_dst.(e) in
+      if dst <> op && scheduled.(dst) then begin
+        let b = time.(dst) - delays.(e) + (ii * view.Ddg.e_dist.(e)) in
+        if b < !acc then acc := b
+      end
+    done;
+    !acc
+  in
+  let has_sched_pred op =
+    let rec go k =
+      k < view.Ddg.pred_off.(op + 1)
+      &&
+      let src = view.Ddg.e_src.(view.Ddg.pred_edges.(k)) in
+      (src <> op && scheduled.(src)) || go (k + 1)
+    in
+    go view.Ddg.pred_off.(op)
   in
   let try_place op t =
     if t < 0 then false
-    else if Mrt.can_place mrt (cls op) ~time:t ~occupancy:(occ op) then begin
-      Mrt.place mrt (cls op) ~time:t ~occupancy:(occ op);
+    else if Mrt.can_place mrt op_cls.(op) ~time:t ~occupancy:op_occ.(op) then begin
+      Mrt.place mrt op_cls.(op) ~time:t ~occupancy:op_occ.(op);
       time.(op) <- t;
       prev_time.(op) <- t;
       scheduled.(op) <- true;
@@ -121,12 +216,14 @@ let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
   (* After placing [op] at [t], unschedule any scheduled successor the
      placement pushed out of legality (Rau's eviction rule). *)
   let evict_violated_succs op t =
-    List.iter
-      (fun (e : Dependence.t) ->
-        if e.dst <> op && scheduled.(e.dst) then
-          if time.(e.dst) < t + delay ~cycle_model g e - (ii * e.distance) then
-            unschedule e.dst)
-      (Ddg.succs g op)
+    for k = view.Ddg.succ_off.(op) to view.Ddg.succ_off.(op + 1) - 1 do
+      let e = view.Ddg.succ_edges.(k) in
+      let dst = view.Ddg.e_dst.(e) in
+      if
+        dst <> op && scheduled.(dst)
+        && time.(dst) < t + delays.(e) - (ii * view.Ddg.e_dist.(e))
+      then unschedule dst
+    done
   in
   let force op t =
     (* Evict same-class operations until the slot frees up, then any
@@ -134,7 +231,7 @@ let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
     let t = Stdlib.max t 0 in
     let evictable = ref [] in
     for q = 0 to n - 1 do
-      if q <> op && scheduled.(q) && cls q = cls op then evictable := q :: !evictable
+      if q <> op && scheduled.(q) && op_cls.(q) = op_cls.(op) then evictable := q :: !evictable
     done;
     (* Evict lower-priority victims first. *)
     let victims =
@@ -143,7 +240,7 @@ let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
     let rec evict = function
       | [] -> ()
       | q :: rest ->
-          if not (Mrt.can_place mrt (cls op) ~time:t ~occupancy:(occ op)) then begin
+          if not (Mrt.can_place mrt op_cls.(op) ~time:t ~occupancy:op_occ.(op)) then begin
             unschedule q;
             evict rest
           end
@@ -180,9 +277,6 @@ let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
       let op = pick () in
       if debug then per_op.(op) <- per_op.(op) + 1;
       let lo = estart op in
-      let has_sched_pred =
-        List.exists (fun (e : Dependence.t) -> e.src <> op && scheduled.(e.src)) (Ddg.preds g op)
-      in
       (* Preferred window respects scheduled successors (keeps
          lifetimes short, HRMS-style); if it has no free slot, fall
          back to Rau's full [Estart, Estart+II-1] resource scan and
@@ -198,24 +292,24 @@ let attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering =
         | None ->
             force op (if prev_time.(op) >= 0 then Stdlib.max lo (prev_time.(op) + 1) else lo)
       in
-      (match lend op with
-      | Some hi when not has_sched_pred ->
-          (* Only consumers are placed: sit as close below them as
-             possible (ALAP) to shorten the produced lifetime. *)
-          let lo' = Stdlib.max lo (hi - ii + 1) in
-          let rec down t = if t < lo' then None else if try_place op t then Some () else down (t - 1) in
-          (match down hi with Some () -> () | None -> fallback ())
-      | maybe_hi ->
-          let hi =
-            match maybe_hi with
-            | Some h_bound -> Stdlib.min h_bound (lo + ii - 1)
-            | None -> lo + ii - 1
-          in
-          let rec up t = if t > hi then None else if try_place op t then Some () else up (t + 1) in
-          (match up lo with Some () -> () | None -> fallback ()))
+      let le = lend op in
+      if le <> max_int && not (has_sched_pred op) then begin
+        (* Only consumers are placed: sit as close below them as
+           possible (ALAP) to shorten the produced lifetime. *)
+        let lo' = Stdlib.max lo (le - ii + 1) in
+        let rec down t =
+          if t < lo' then None else if try_place op t then Some () else down (t - 1)
+        in
+        match down le with Some () -> () | None -> fallback ()
+      end
+      else begin
+        let hi = if le <> max_int then Stdlib.min le (lo + ii - 1) else lo + ii - 1 in
+        let rec up t = if t > hi then None else if try_place op t then Some () else up (t + 1) in
+        match up lo with Some () -> () | None -> fallback ()
+      end
     end
   done;
-  if !ok then Some (time, !placements) else None
+  if !ok then Some (Array.copy time, !placements) else None
 
 let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(ordering = `Ims) g =
   let n = Ddg.num_ops g in
@@ -226,16 +320,17 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
   if n = 0 then
     { schedule = empty_schedule ~cycle_model; mii = 1; res_mii; rec_mii; placements = 0 }
   else begin
+    let view = Ddg.edge_view g in
+    let delays = Mii.edge_delays ~cycle_model g in
     let default_max =
       let bus, fpu = Resource.total_slot_demand resource ~cycle_model g in
-      let total_delay =
-        List.fold_left (fun acc e -> acc + delay ~cycle_model g e) 0 (Ddg.edges g)
-      in
+      let total_delay = Array.fold_left ( + ) 0 delays in
       bus + fpu + total_delay + Stdlib.max mii min_ii + 1
     in
     let max_ii = match max_ii with Some m -> m | None -> default_max in
     let critical = Mii.critical_recurrence_ops ~cycle_model g ~ii:rec_mii in
     let budget = Stdlib.max 32 (budget_ratio * n) in
+    let s = make_scratch resource ~cycle_model g in
     let total_placements = ref 0 in
     let rec loop ii =
       if ii > max_ii then
@@ -246,7 +341,7 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
            if it cannot close a schedule near the MII, fall back to the
            eviction-hardened IMS priority for the larger IIs. *)
         let ordering = if ordering = `Sms && ii > mii + 4 then `Ims else ordering in
-        match attempt resource ~cycle_model g ~ii ~critical ~budget ~ordering with
+        match attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~ordering s with
         | Some (times, p) ->
             total_placements := !total_placements + p;
             let schedule = Schedule.make ~ii ~times ~cycle_model in

@@ -51,3 +51,9 @@ val run :
 
 val empty_schedule : cycle_model:Wr_machine.Cycle_model.t -> Schedule.t
 (** Schedule of the empty graph (II = 1). *)
+
+val heights : cycle_model:Wr_machine.Cycle_model.t -> Wr_ir.Ddg.t -> ii:int -> int array
+(** The scheduler's priority heights at a given II: the least fixpoint
+    of [h(v) = max(0, max over out-edges (delay - II*distance + h(dst)))].
+    Exposed for the tests that cross-check the flat-edge kernels against
+    the reference list traversal. *)

@@ -1,11 +1,31 @@
 module Resource = Wr_machine.Resource
 module Opcode = Wr_ir.Opcode
 
-type t = { ii : int; bus : int array; fpu : int array; resource : Resource.t }
+(* [ii] is mutable so one table can serve the whole II-escalation loop:
+   [reset] re-arms it at a new II, growing the rows only when the
+   capacity is exceeded. *)
+type t = {
+  mutable ii : int;
+  mutable bus : int array;
+  mutable fpu : int array;
+  resource : Resource.t;
+}
 
 let create ~ii resource =
   if ii <= 0 then invalid_arg "Mrt.create: ii must be positive";
   { ii; bus = Array.make ii 0; fpu = Array.make ii 0; resource }
+
+let reset t ~ii =
+  if ii <= 0 then invalid_arg "Mrt.reset: ii must be positive";
+  if ii > Array.length t.bus then begin
+    t.bus <- Array.make ii 0;
+    t.fpu <- Array.make ii 0
+  end
+  else begin
+    Array.fill t.bus 0 ii 0;
+    Array.fill t.fpu 0 ii 0
+  end;
+  t.ii <- ii
 
 let ii t = t.ii
 
@@ -36,44 +56,72 @@ let can_place t cls ~time ~occupancy =
   let full = occupancy / t.ii and rem = occupancy mod t.ii in
   if full = 0 then begin
     (* Common case (pipelined ops, short occupancies): only the
-       [occupancy] slots of the window are touched — O(occupancy). *)
+       [occupancy] slots of the window are touched, and the scan stops
+       at the first full slot. *)
     let start = norm t time in
-    let ok = ref true in
-    for k = 0 to rem - 1 do
-      if r.((start + k) mod t.ii) + 1 > slots then ok := false
-    done;
-    !ok
+    let rec fits k =
+      k >= rem || (r.((start + k) mod t.ii) < slots && fits (k + 1))
+    in
+    fits 0
   end
   else begin
     (* occupancy >= II implies II <= occupancy (bounded by the largest
-       latency), so the full scan stays cheap. *)
-    let ok = ref true in
-    for s = 0 to t.ii - 1 do
-      if r.(s) + demand t ~time ~occupancy s > slots then ok := false
-    done;
-    !ok
+       latency), so the full scan stays cheap; still exits on the first
+       over-subscribed slot. *)
+    let rec fits s =
+      s >= t.ii || (r.(s) + demand t ~time ~occupancy s <= slots && fits (s + 1))
+    in
+    fits 0
   end
 
+(* Place/remove touch only the slots whose demand is non-zero: for a
+   pipelined reservation (occupancy < II) that is the [occupancy]-slot
+   window, not the whole kernel — the all-slots walk made every
+   reservation O(II), which dominated high-II runs (escalated and
+   span-scheduled loops).  Failure leaves the table unchanged. *)
 let place t cls ~time ~occupancy =
   let slots = Resource.slots t.resource cls in
   let r = row t cls in
-  for s = 0 to t.ii - 1 do
-    let d = demand t ~time ~occupancy s in
-    if r.(s) + d > slots then begin
-      for s' = 0 to s - 1 do
-        r.(s') <- r.(s') - demand t ~time ~occupancy s'
-      done;
-      invalid_arg "Mrt.place: slot over-subscribed"
-    end;
-    r.(s) <- r.(s) + d
-  done
+  let full = occupancy / t.ii and rem = occupancy mod t.ii in
+  if full = 0 then begin
+    let start = norm t time in
+    let rec fits k = k >= rem || (r.((start + k) mod t.ii) < slots && fits (k + 1)) in
+    if not (fits 0) then invalid_arg "Mrt.place: slot over-subscribed";
+    for k = 0 to rem - 1 do
+      let s = (start + k) mod t.ii in
+      r.(s) <- r.(s) + 1
+    done
+  end
+  else begin
+    let rec fits s =
+      s >= t.ii || (r.(s) + demand t ~time ~occupancy s <= slots && fits (s + 1))
+    in
+    if not (fits 0) then invalid_arg "Mrt.place: slot over-subscribed";
+    for s = 0 to t.ii - 1 do
+      r.(s) <- r.(s) + demand t ~time ~occupancy s
+    done
+  end
 
 let remove t cls ~time ~occupancy =
   let r = row t cls in
-  for s = 0 to t.ii - 1 do
-    let d = demand t ~time ~occupancy s in
-    if r.(s) < d then invalid_arg "Mrt.remove: empty slot";
-    r.(s) <- r.(s) - d
-  done
+  let full = occupancy / t.ii and rem = occupancy mod t.ii in
+  if full = 0 then begin
+    let start = norm t time in
+    let rec filled k = k >= rem || (r.((start + k) mod t.ii) >= 1 && filled (k + 1)) in
+    if not (filled 0) then invalid_arg "Mrt.remove: empty slot";
+    for k = 0 to rem - 1 do
+      let s = (start + k) mod t.ii in
+      r.(s) <- r.(s) - 1
+    done
+  end
+  else begin
+    let rec filled s =
+      s >= t.ii || (r.(s) >= demand t ~time ~occupancy s && filled (s + 1))
+    in
+    if not (filled 0) then invalid_arg "Mrt.remove: empty slot";
+    for s = 0 to t.ii - 1 do
+      r.(s) <- r.(s) - demand t ~time ~occupancy s
+    done
+  end
 
 let usage t cls ~slot = (row t cls).(norm t slot)

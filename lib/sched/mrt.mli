@@ -9,6 +9,11 @@ type t
 
 val create : ii:int -> Wr_machine.Resource.t -> t
 
+val reset : t -> ii:int -> unit
+(** Clear the table and re-arm it at a new II, reusing the row storage
+    when capacity allows.  Lets the scheduler's II-escalation loop keep
+    one table instead of allocating per attempt. *)
+
 val ii : t -> int
 
 val can_place : t -> Wr_ir.Opcode.resource_class -> time:int -> occupancy:int -> bool

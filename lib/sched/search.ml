@@ -9,11 +9,6 @@ type outcome = Feasible of Schedule.t | Infeasible | Gave_up
 
 exception Out_of_budget
 
-let delay ~cycle_model g (e : Dependence.t) =
-  let src = Ddg.op g e.src in
-  Dependence.delay_rule e.kind
-    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
-
 let neg_inf = min_int / 4
 
 (* The scratch matrix must be at least n x n; rows are reset here, so a
@@ -35,20 +30,7 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) ?scratch g =
     (* Assignment order: critical recurrences, then height — the same
        priority the heuristic uses, which keeps windows tight early. *)
     let critical = Mii.critical_recurrence_ops ~cycle_model g ~ii:(Mii.rec_mii ~cycle_model g) in
-    let h = Array.make n 0 in
-    let changed = ref true and pass = ref 0 in
-    while !changed && !pass <= n do
-      changed := false;
-      List.iter
-        (fun (e : Dependence.t) ->
-          let w = delay ~cycle_model g e - (ii * e.distance) in
-          if w + h.(e.dst) > h.(e.src) then begin
-            h.(e.src) <- w + h.(e.dst);
-            changed := true
-          end)
-        (Ddg.edges g);
-      incr pass
-    done;
+    let h = Modulo.heights ~cycle_model g ~ii in
     let priority = Array.init n (fun i -> i) in
     Array.sort
       (fun a b ->
@@ -104,11 +86,13 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) ?scratch g =
     for v = 0 to n - 1 do
       path.(v).(v) <- 0
     done;
-    List.iter
-      (fun (e : Dependence.t) ->
-        let w = delay ~cycle_model g e - (ii * e.distance) in
-        if w > path.(e.src).(e.dst) then path.(e.src).(e.dst) <- w)
-      (Ddg.edges g);
+    let view = Ddg.edge_view g in
+    let delays = Mii.edge_delays ~cycle_model g in
+    for e = 0 to view.Ddg.n_edges - 1 do
+      let w = delays.(e) - (ii * view.Ddg.e_dist.(e)) in
+      if w > path.(view.Ddg.e_src.(e)).(view.Ddg.e_dst.(e)) then
+        path.(view.Ddg.e_src.(e)).(view.Ddg.e_dst.(e)) <- w
+    done;
     for k = 0 to n - 1 do
       for i = 0 to n - 1 do
         if path.(i).(k) > neg_inf then

@@ -1,31 +1,25 @@
 module Ddg = Wr_ir.Ddg
 module Dependence = Wr_ir.Dependence
-module Operation = Wr_ir.Operation
-module Cycle_model = Wr_machine.Cycle_model
 module Scc = Wr_ir.Scc
-
-let delay ~cycle_model g (e : Dependence.t) =
-  let src = Ddg.op g e.src in
-  Dependence.delay_rule e.kind
-    ~producer_latency:(Cycle_model.latency_of_op cycle_model src.Operation.opcode)
 
 (* ASAP/ALAP at the given II: longest paths over weights
    [delay - II*dist]; no positive cycles at II >= RecMII, so value
-   iteration converges. *)
+   iteration converges.  Runs on the flat edge arrays. *)
 let asap_alap ~cycle_model g ~ii =
   let n = Ddg.num_ops g in
+  let view = Ddg.edge_view g in
+  let delays = Mii.edge_delays ~cycle_model g in
   let asap = Array.make n 0 in
   let changed = ref true and pass = ref 0 in
   while !changed && !pass <= n do
     changed := false;
-    List.iter
-      (fun (e : Dependence.t) ->
-        let w = delay ~cycle_model g e - (ii * e.distance) in
-        if asap.(e.src) + w > asap.(e.dst) then begin
-          asap.(e.dst) <- asap.(e.src) + w;
-          changed := true
-        end)
-      (Ddg.edges g);
+    for e = 0 to view.Ddg.n_edges - 1 do
+      let w = delays.(e) - (ii * view.Ddg.e_dist.(e)) in
+      if asap.(view.Ddg.e_src.(e)) + w > asap.(view.Ddg.e_dst.(e)) then begin
+        asap.(view.Ddg.e_dst.(e)) <- asap.(view.Ddg.e_src.(e)) + w;
+        changed := true
+      end
+    done;
     incr pass
   done;
   let horizon = Array.fold_left Stdlib.max 0 asap in
@@ -33,14 +27,13 @@ let asap_alap ~cycle_model g ~ii =
   let changed = ref true and pass = ref 0 in
   while !changed && !pass <= n do
     changed := false;
-    List.iter
-      (fun (e : Dependence.t) ->
-        let w = delay ~cycle_model g e - (ii * e.distance) in
-        if alap.(e.dst) - w < alap.(e.src) then begin
-          alap.(e.src) <- alap.(e.dst) - w;
-          changed := true
-        end)
-      (Ddg.edges g);
+    for e = 0 to view.Ddg.n_edges - 1 do
+      let w = delays.(e) - (ii * view.Ddg.e_dist.(e)) in
+      if alap.(view.Ddg.e_dst.(e)) - w < alap.(view.Ddg.e_src.(e)) then begin
+        alap.(view.Ddg.e_src.(e)) <- alap.(view.Ddg.e_dst.(e)) - w;
+        changed := true
+      end
+    done;
     incr pass
   done;
   (asap, alap)

@@ -106,6 +106,71 @@ let test_evaluate_parallel_deterministic () =
         [ (1, 1, 64); (4, 2, 64); (8, 1, 32); (2, 4, 128) ];
       Core.Evaluate.clear_cache ())
 
+(* --- loop-level cache -------------------------------------------------------- *)
+
+let test_loop_cache_returns_same_record () =
+  Core.Evaluate.clear_cache ();
+  let loop = K.daxpy () in
+  let c = Config.xwy ~registers:64 ~x:2 ~y:1 () in
+  let before = Core.Evaluate.evaluations () in
+  let a =
+    Core.Evaluate.loop_cached ~suite_id:"cache-unit" ~index:0 c ~cycle_model:cm ~registers:64
+      loop
+  in
+  Alcotest.(check int) "first call runs the pipeline" (before + 1)
+    (Core.Evaluate.evaluations ());
+  let b =
+    Core.Evaluate.loop_cached ~suite_id:"cache-unit" ~index:0 c ~cycle_model:cm ~registers:64
+      loop
+  in
+  Alcotest.(check bool) "physically the same record" true (a == b);
+  Alcotest.(check int) "second call is a pure hit" (before + 1)
+    (Core.Evaluate.evaluations ())
+
+let test_loop_cache_shared_across_studies () =
+  (* Two studies visiting the same (suite, loop, machine point) share
+     the schedule-and-allocate work: after [suite_on] has filled the
+     loop cache, per-loop lookups under the same suite id never
+     re-invoke the scheduler. *)
+  Core.Evaluate.clear_cache ();
+  let loops = Lazy.force sample in
+  let c = Config.xwy ~registers:64 ~x:2 ~y:1 () in
+  let agg = Core.Evaluate.suite_on ~suite_id:"cache-share" c ~cycle_model:cm ~registers:64 loops in
+  let n = Core.Evaluate.evaluations () in
+  let results =
+    Array.mapi
+      (fun i loop ->
+        Core.Evaluate.loop_cached ~suite_id:"cache-share" ~index:i c ~cycle_model:cm
+          ~registers:64 loop)
+      loops
+  in
+  Alcotest.(check int) "no re-evaluations" n (Core.Evaluate.evaluations ());
+  let total = Array.fold_left (fun acc r -> acc +. r.Core.Evaluate.cycles) 0.0 results in
+  Alcotest.(check (float 1e-9)) "aggregate agrees with cached loops"
+    agg.Core.Evaluate.total_cycles total
+
+let test_clear_cache_drops_both_levels () =
+  Core.Evaluate.clear_cache ();
+  let loop = K.daxpy () in
+  let c = Config.xwy ~registers:64 ~x:1 ~y:1 () in
+  let eval () =
+    ignore
+      (Core.Evaluate.loop_cached ~suite_id:"cache-clear" ~index:0 c ~cycle_model:cm
+         ~registers:64 loop);
+    ignore
+      (Core.Evaluate.suite_on ~suite_id:"cache-clear" c ~cycle_model:cm ~registers:64
+         [| loop |])
+  in
+  eval ();
+  let n = Core.Evaluate.evaluations () in
+  (* Warm: both levels answer from the tables. *)
+  eval ();
+  Alcotest.(check int) "warm caches: no pipeline runs" n (Core.Evaluate.evaluations ());
+  Core.Evaluate.clear_cache ();
+  eval ();
+  Alcotest.(check bool) "cleared: the pipeline runs again" true
+    (Core.Evaluate.evaluations () > n)
+
 (* --- peak study (figure 2) -------------------------------------------------- *)
 
 let test_peak_monotone_in_factor () =
@@ -382,6 +447,12 @@ let () =
           Alcotest.test_case "fallback" `Quick test_evaluate_fallback;
           Alcotest.test_case "memoized" `Quick test_evaluate_suite_memoized;
           Alcotest.test_case "parallel determinism" `Slow test_evaluate_parallel_deterministic;
+        ] );
+      ( "loop_cache",
+        [
+          Alcotest.test_case "same record, no re-run" `Quick test_loop_cache_returns_same_record;
+          Alcotest.test_case "shared across studies" `Slow test_loop_cache_shared_across_studies;
+          Alcotest.test_case "clear drops both levels" `Quick test_clear_cache_drops_both_levels;
         ] );
       ( "peak_study",
         [

@@ -1,0 +1,48 @@
+(* Golden-file tests: the figure CSVs regenerate bit-identically.
+
+   The files under golden/ were produced by the bench harness
+   ([bench/main.exe fig2|fig3|fig9 -s 120 --csv ...]) on the seed
+   implementation; the studies here rebuild the same CSV strings
+   through {!Core.Csv_export} — the builders the harness itself uses —
+   on the same deterministic 120-loop sample.  Any change to the
+   scheduler, allocator, cost model or CSV format that perturbs a
+   single byte of the figures fails these tests. *)
+
+let loops = lazy (Wr_workload.Suite.sample 120)
+
+let suite_id = "sample120"
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let check_golden name actual =
+  let expected = read_file (Filename.concat "golden" (name ^ ".csv")) in
+  Alcotest.(check string) (name ^ ".csv bit-identical") expected actual
+
+let test_fig2 () =
+  let t = Core.Peak_study.run (Lazy.force loops) in
+  check_golden "fig2"
+    (Core.Csv_export.to_string ~header:Core.Csv_export.fig2_header
+       (Core.Csv_export.fig2_rows t))
+
+let test_fig3 () =
+  let t = Core.Spill_study.run ~suite_id (Lazy.force loops) in
+  check_golden "fig3"
+    (Core.Csv_export.to_string ~header:Core.Csv_export.fig3_header
+       (Core.Csv_export.fig3_rows t))
+
+let test_fig9 () =
+  let t = Core.Tradeoff.figure9 ~suite_id (Lazy.force loops) in
+  check_golden "fig9"
+    (Core.Csv_export.to_string ~header:Core.Csv_export.fig9_header
+       (Core.Csv_export.fig9_rows t))
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "fig2" `Slow test_fig2;
+          Alcotest.test_case "fig3" `Slow test_fig3;
+          Alcotest.test_case "fig9" `Slow test_fig9;
+        ] );
+    ]

@@ -99,6 +99,126 @@ let test_mrt_over_subscription_raises () =
        false
      with Invalid_argument _ -> true)
 
+let test_mrt_reset_reuses_table () =
+  let mrt = Mrt.create ~ii:4 resource_1w1 in
+  Mrt.place mrt Opcode.Bus ~time:1 ~occupancy:1;
+  Mrt.reset mrt ~ii:6;
+  Alcotest.(check int) "new ii" 6 (Mrt.ii mrt);
+  for s = 0 to 5 do
+    Alcotest.(check int) (Printf.sprintf "slot %d clean" s) 0 (Mrt.usage mrt Opcode.Bus ~slot:s)
+  done;
+  (* Shrinking re-arms the same arrays; stale counts beyond the old II
+     must not leak back in. *)
+  Mrt.place mrt Opcode.Bus ~time:5 ~occupancy:1;
+  Mrt.reset mrt ~ii:3;
+  for s = 0 to 2 do
+    Alcotest.(check int) (Printf.sprintf "shrunk slot %d clean" s) 0
+      (Mrt.usage mrt Opcode.Bus ~slot:s)
+  done
+
+(* --- flat edge view vs the list representation --------------------------- *)
+
+(* The scheduler's hot kernels run over [Ddg.edge_view]'s CSR arrays;
+   these tests pin them to the [Ddg.edges] list they were compiled
+   from, on the handwritten kernels and on generated loops. *)
+
+let cross_check_loops () =
+  List.map snd (K.all ())
+  @ List.init 25 (fun seed ->
+        let rng = Wr_util.Rng.create ~seed:(Int64.of_int (seed + 4321)) in
+        Wr_workload.Generator.generate_one rng Wr_workload.Generator.default ~index:seed)
+
+let edge_delay g (e : Wr_ir.Dependence.t) =
+  Wr_ir.Dependence.delay_rule e.Wr_ir.Dependence.kind
+    ~producer_latency:
+      (Cycle_model.latency_of_op cm
+         (Ddg.op g e.Wr_ir.Dependence.src).Wr_ir.Operation.opcode)
+
+let test_edge_view_matches_edge_list () =
+  List.iter
+    (fun (loop : Loop.t) ->
+      let g = loop.Loop.ddg in
+      let v = Ddg.edge_view g in
+      let edges = Ddg.edges g in
+      Alcotest.(check int) "edge count" (List.length edges) v.Ddg.n_edges;
+      let delays = Mii.edge_delays ~cycle_model:cm g in
+      List.iteri
+        (fun i (e : Wr_ir.Dependence.t) ->
+          Alcotest.(check int) "src" e.Wr_ir.Dependence.src v.Ddg.e_src.(i);
+          Alcotest.(check int) "dst" e.Wr_ir.Dependence.dst v.Ddg.e_dst.(i);
+          Alcotest.(check int) "distance" e.Wr_ir.Dependence.distance v.Ddg.e_dist.(i);
+          Alcotest.(check int) "delay" (edge_delay g e) delays.(i))
+        edges)
+    (cross_check_loops ())
+
+(* Reference heights: fixpoint iteration straight off the edge list. *)
+let reference_heights g ~ii =
+  let h = Array.make (Ddg.num_ops g) 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : Wr_ir.Dependence.t) ->
+        let v =
+          edge_delay g e - (ii * e.Wr_ir.Dependence.distance) + h.(e.Wr_ir.Dependence.dst)
+        in
+        if v > h.(e.Wr_ir.Dependence.src) then begin
+          h.(e.Wr_ir.Dependence.src) <- v;
+          changed := true
+        end)
+      (Ddg.edges g)
+  done;
+  h
+
+let test_heights_match_reference () =
+  List.iter
+    (fun (loop : Loop.t) ->
+      let g = loop.Loop.ddg in
+      let rec_mii = Mii.rec_mii ~cycle_model:cm g in
+      List.iter
+        (fun ii ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "heights at ii=%d" ii)
+            (reference_heights g ~ii)
+            (Modulo.heights ~cycle_model:cm g ~ii))
+        [ rec_mii; rec_mii + 1; rec_mii + 3 ])
+    (cross_check_loops ())
+
+(* Reference RecMII: linear scan over candidate IIs, positive-cycle
+   detection by Bellman-Ford on the edge list. *)
+let reference_rec_mii g =
+  let n = Ddg.num_ops g in
+  let feasible ii =
+    let dist = Array.make n 0 in
+    let changed = ref true and pass = ref 0 in
+    while !changed && !pass <= n do
+      changed := false;
+      incr pass;
+      List.iter
+        (fun (e : Wr_ir.Dependence.t) ->
+          let v =
+            dist.(e.Wr_ir.Dependence.src)
+            + edge_delay g e
+            - (ii * e.Wr_ir.Dependence.distance)
+          in
+          if v > dist.(e.Wr_ir.Dependence.dst) then begin
+            dist.(e.Wr_ir.Dependence.dst) <- v;
+            changed := true
+          end)
+        (Ddg.edges g)
+    done;
+    not !changed
+  in
+  let rec scan ii = if feasible ii then ii else scan (ii + 1) in
+  scan 1
+
+let test_rec_mii_matches_reference () =
+  List.iter
+    (fun (loop : Loop.t) ->
+      let g = loop.Loop.ddg in
+      Alcotest.(check int) "rec_mii" (reference_rec_mii g) (Mii.rec_mii ~cycle_model:cm g))
+    (cross_check_loops ())
+
 (* --- scheduling on kernels ------------------------------------------------ *)
 
 let schedule_kernel loop config =
@@ -333,6 +453,13 @@ let () =
           Alcotest.test_case "occupancy wrap" `Quick test_mrt_occupancy_wrap;
           Alcotest.test_case "negative time" `Quick test_mrt_negative_time;
           Alcotest.test_case "over-subscription" `Quick test_mrt_over_subscription_raises;
+          Alcotest.test_case "reset reuses table" `Quick test_mrt_reset_reuses_table;
+        ] );
+      ( "edge_view",
+        [
+          Alcotest.test_case "matches edge list" `Quick test_edge_view_matches_edge_list;
+          Alcotest.test_case "heights vs reference" `Quick test_heights_match_reference;
+          Alcotest.test_case "rec_mii vs reference" `Quick test_rec_mii_matches_reference;
         ] );
       ( "modulo",
         [
