@@ -23,17 +23,19 @@ let experiments =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig2"; "fig3"; "fig4";
     "fig6"; "fig7"; "fig8"; "fig9"; "conclusion"; "ablation-compact"; "ablation-levers";
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
-    "endtoend"; "parspeed"; "schedmicro" ]
+    "endtoend"; "parspeed"; "schedmicro"; "fuzz" ]
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE]\n"
+    "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE] \
+     [--verify] [--cases N] [--fuzz-seed N]\n"
     (String.concat "|" experiments);
   exit 1
 
-let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path =
+let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path, verify_flag, fuzz_cases, fuzz_seed =
   let selected = ref "all" and sample = ref None and timing = ref true in
   let csv = ref None and jobs = ref None and json = ref None in
+  let verify = ref false and cases = ref 200 and seed = ref 0x5EEDL in
   let rec parse = function
     | [] -> ()
     | "-s" :: n :: rest ->
@@ -41,6 +43,17 @@ let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path =
         parse rest
     | "--no-timing" :: rest ->
         timing := false;
+        parse rest
+    | "--verify" :: rest ->
+        verify := true;
+        parse rest
+    | "--cases" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> cases := v
+        | _ -> usage ());
+        parse rest
+    | "--fuzz-seed" :: n :: rest ->
+        (match Int64.of_string_opt n with Some v -> seed := v | None -> usage ());
         parse rest
     | "--csv" :: dir :: rest ->
         csv := Some dir;
@@ -59,9 +72,11 @@ let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!selected, !sample, !timing, !csv, !jobs, !json)
+  (!selected, !sample, !timing, !csv, !jobs, !json, !verify, !cases, !seed)
 
 let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
+
+let () = if verify_flag then Core.Evaluate.set_verify true
 
 let effective_jobs () =
   match jobs_flag with Some j -> j | None -> Wr_util.Pool.default_jobs ()
@@ -416,6 +431,32 @@ let run_experiment id =
       paper_note
         "Engine microbenchmark: isolates the modulo scheduler's wall time from the rest of \
          the evaluation pipeline."
+  | "fuzz" ->
+      (* Randomized end-to-end verification: seeded (generator loop x
+         design-space point) pairs through the full
+         schedule -> allocate -> spill -> reschedule pipeline under
+         every Wr_check oracle; a failure prints a Text_format
+         reproducer and fails the run. *)
+      Printf.printf "fuzzing %d cases (seed %#Lx)\n%!" fuzz_cases fuzz_seed;
+      let stats =
+        Wr_check.Fuzz.run
+          ~on_case:(fun i ->
+            if (i + 1) mod 50 = 0 then Printf.printf "  ... %d cases done\n%!" (i + 1))
+          ~seed:fuzz_seed ~cases:fuzz_cases ()
+      in
+      Printf.printf "%s\n" (Wr_check.Fuzz.summary stats);
+      List.iter
+        (fun f ->
+          Printf.printf "---- reproducer ----\n%s\n" (Wr_check.Fuzz.reproducer f))
+        stats.Wr_check.Fuzz.failures;
+      if stats.Wr_check.Fuzz.failures <> [] then begin
+        Printf.eprintf "fuzz: %d case(s) violated an oracle\n"
+          (List.length stats.Wr_check.Fuzz.failures);
+        exit 1
+      end;
+      paper_note
+        "Engine check: every case re-verified by the independent invariant oracles \
+         (dependences, reservation table, wands allocation, spill semantics)."
   | _ -> usage ());
   record_wall id (Unix.gettimeofday () -. started);
   Printf.printf "[%s generated in %.1fs]\n" id (Unix.gettimeofday () -. started);
@@ -497,7 +538,13 @@ let () =
   Printf.printf "%s\n" (Wr_workload.Suite.statistics loops);
   (* parspeed re-times fig3/fig9 at two pool sizes; keep it out of
      "all" so the default full run isn't doubled.  Invoke explicitly. *)
+  (* parspeed and fuzz are explicit-only modes: the first doubles the
+     heavy figures, the second is a verification pass, not a figure. *)
   if selected = "all" then
-    List.iter run_experiment (List.filter (fun e -> e <> "parspeed") experiments)
+    List.iter run_experiment
+      (List.filter (fun e -> e <> "parspeed" && e <> "fuzz") experiments)
   else run_experiment selected;
+  if Core.Evaluate.verify_enabled () then
+    Printf.printf "[verify] %d (loop, machine-point) results passed all oracles, 0 violations\n"
+      (Core.Evaluate.verified_points ());
   Option.iter (fun path -> write_json path ~suite_id ~loops) json_path

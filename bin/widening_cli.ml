@@ -238,6 +238,95 @@ let file_cmd =
     (Cmd.info "file" ~doc:"Parse loops from a text file and optionally schedule them")
     Term.(const run $ path $ config)
 
+(* --- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TARGET"
+             ~doc:"Kernel name, or a .wr loop file path (e.g. a fuzz reproducer).")
+  in
+  let config =
+    Arg.(value & opt string "4w2(128)"
+         & info [ "c"; "config" ] ~docv:"CONFIG"
+             ~doc:"Configuration to verify on, e.g. 4w2(64); the register count in \
+                   parentheses is the file size used.")
+  in
+  let cycles =
+    Arg.(value & opt (some int) None
+         & info [ "cycles" ] ~docv:"N"
+             ~doc:"Cycle model (1-4); defaults to the one the configuration's access \
+                   time implies.")
+  in
+  let policy =
+    let values =
+      [ ("combined", Wr_regalloc.Driver.Combined);
+        ("spill", Wr_regalloc.Driver.Spill_only);
+        ("escalate", Wr_regalloc.Driver.Escalate_only) ]
+    in
+    Arg.(value & opt (enum values) Wr_regalloc.Driver.Combined
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Register-pressure policy: combined, spill or escalate.")
+  in
+  let run target config_str cycles policy =
+    let loops =
+      if Sys.file_exists target then begin
+        let source = In_channel.with_open_text target In_channel.input_all in
+        match Wr_ir.Text_format.parse source with
+        | Ok loops -> loops
+        | Error e -> prerr_endline e; exit 1
+      end
+      else
+        match find_kernel target with
+        | Ok loop -> [ loop ]
+        | Error e -> prerr_endline e; exit 1
+    in
+    match Config.parse config_str with
+    | Error e -> prerr_endline e; exit 1
+    | Ok cfg ->
+        let cm =
+          match cycles with
+          | None -> Wr_cost.Access_time.cycle_model_of cfg
+          | Some n -> (
+              match Cycle_model.of_cycles n with
+              | Some m -> m
+              | None ->
+                  Printf.eprintf "--cycles must be 1..4, got %d\n" n;
+                  exit 1)
+        in
+        let registers = cfg.Config.registers in
+        let failed = ref false in
+        List.iter
+          (fun (l : Loop.t) ->
+            let r = Wr_check.Oracle.check_point cfg ~cycle_model:cm ~registers ~policy l in
+            let status =
+              if not r.Wr_check.Oracle.schedulable then "unschedulable (nothing to verify)"
+              else
+                Printf.sprintf "II=%d%s"
+                  (Option.value ~default:0 r.Wr_check.Oracle.ii)
+                  (if r.Wr_check.Oracle.spilled then ", spill code verified" else "")
+            in
+            match r.Wr_check.Oracle.violations with
+            | [] ->
+                Printf.printf "  %-24s %s on %s (%s): all oracles passed\n" l.Loop.name
+                  status (Config.label cfg)
+                  (Cycle_model.to_string cm)
+            | vs ->
+                failed := true;
+                Printf.printf "  %-24s %s on %s (%s): %d VIOLATION(S)\n%s\n" l.Loop.name
+                  status (Config.label cfg)
+                  (Cycle_model.to_string cm)
+                  (List.length vs)
+                  (Wr_check.Oracle.to_string vs))
+          loops;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify the full pipeline (widen, schedule, allocate, spill) on a kernel or \
+             loop file with the independent invariant oracles")
+    Term.(const run $ target $ config $ cycles $ policy)
+
 (* --- codegen / simulate -------------------------------------------------- *)
 
 let prepare_for kernel config_str =
@@ -363,5 +452,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; schedule_cmd; configs_cmd; workload_cmd; dot_cmd; codegen_cmd;
-            simulate_cmd; file_cmd;
+            simulate_cmd; file_cmd; check_cmd;
           ]))

@@ -1,0 +1,46 @@
+(** Randomized end-to-end verification: drive seeded random (generator
+    loop x design-space point) pairs through
+    widen -> schedule -> allocate -> spill -> reschedule under every
+    oracle of {!Oracle}.
+
+    Each case draws a loop from {!Wr_workload.Generator} (cycling over
+    a few parameter variants that stress non-compactable streams,
+    recurrences, unpipelined operations and large bodies) and a machine
+    point from the paper's design space — including a deliberately tiny
+    16-register file so the spill path and the unschedulable fallback
+    both get exercised.  Everything derives from the one [seed] via
+    split streams, so a failing case replays exactly.
+
+    On failure, {!reproducer} renders the loop in the {!
+    Wr_ir.Text_format} syntax together with the machine point and a
+    replay command line, ready to paste into a file for
+    [widening-cli check]. *)
+
+type failure = {
+  case : int;  (** case index within the run *)
+  loop : Wr_ir.Loop.t;
+  config : Wr_machine.Config.t;
+  cycle_model : Wr_machine.Cycle_model.t;
+  registers : int;
+  policy : Wr_regalloc.Driver.policy;  (** register-pressure lever the case used *)
+  violations : Oracle.violation list;
+}
+
+type stats = {
+  cases : int;
+  schedulable : int;  (** cases where the driver produced a schedule *)
+  spilled : int;  (** schedulable cases that needed spill code *)
+  unschedulable : int;
+  failures : failure list;  (** in case order *)
+}
+
+val run : ?on_case:(int -> unit) -> seed:int64 -> cases:int -> unit -> stats
+(** Runs [cases] independent cases.  [on_case] (default ignore) is
+    called with each finished case index — a progress hook. *)
+
+val reproducer : failure -> string
+(** A self-contained textual reproducer: the loop source plus comment
+    lines naming the machine point and the replay command. *)
+
+val summary : stats -> string
+(** One line: case counts and failure count. *)

@@ -25,6 +25,25 @@ let eval_count = Atomic.make 0
 
 let evaluations () = Atomic.get eval_count
 
+(* Verification mode: every (loop, machine point) result is re-derived
+   by the independent Wr_check oracles; any broken invariant raises
+   [Wr_check.Oracle.Violation].  Off by default — the oracles run the
+   reference interpreter and O(II) re-derivations, so a verified run
+   costs a small constant factor over a plain one. *)
+let verify_flag =
+  Atomic.make
+    (match Sys.getenv_opt "WR_VERIFY" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let set_verify b = Atomic.set verify_flag b
+
+let verify_enabled () = Atomic.get verify_flag
+
+let verified_count = Atomic.make 0
+
+let verified_points () = Atomic.get verified_count
+
 (* Sequential fallback: iterations execute back-to-back with no
    software pipelining.  The per-iteration cost is the flat schedule's
    span plus the latency drain of the last operations; register demand
@@ -61,7 +80,22 @@ let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
      II >= 1 per (wide) iteration. *)
   let prepared, _stats = Wr_widen.Transform.widen loop ~width:c.Config.width in
   let resource = Resource.of_config c in
-  match Driver.run resource ~cycle_model ~registers prepared.Loop.ddg with
+  let outcome = Driver.run resource ~cycle_model ~registers prepared.Loop.ddg in
+  let verifying = verify_enabled () in
+  if verifying then begin
+    let context =
+      Printf.sprintf "%s on %s (%d regs, %s)" loop.Loop.name (Config.label c) registers
+        (Cycle_model.to_string cycle_model)
+    in
+    let vs =
+      Wr_check.Oracle.check_widening ~original:loop ~widened:prepared
+        ~width:c.Config.width
+      @ Wr_check.Oracle.check_driver resource ~registers ~pre:prepared outcome
+    in
+    Wr_check.Oracle.fail_if_any ~context vs;
+    Atomic.incr verified_count
+  end;
+  match outcome with
   | Driver.Scheduled s ->
       let ii = s.Driver.schedule.Schedule.ii in
       (* The widened loop executes trip/Y iterations of II cycles each;
@@ -85,6 +119,12 @@ let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
       let r =
         Wr_sched.Modulo.run resource ~cycle_model ~min_ii:resource_free prepared.Loop.ddg
       in
+      if verifying then
+        Wr_check.Oracle.fail_if_any
+          ~context:
+            (Printf.sprintf "%s sequential fallback on %s" loop.Loop.name (Config.label c))
+          (Wr_check.Oracle.check_schedule prepared.Loop.ddg resource
+             r.Wr_sched.Modulo.schedule);
       let span =
         Schedule.span r.Wr_sched.Modulo.schedule
         + Cycle_model.latency cycle_model Wr_ir.Opcode.Short_op

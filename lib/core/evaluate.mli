@@ -67,6 +67,21 @@ val evaluations : unit -> int
     pipeline since process start (cache hits do not count) — a test
     hook for the caching discipline. *)
 
+val set_verify : bool -> unit
+(** Toggle verification mode: when on, every {!loop_on} result is
+    re-derived by the independent {!Wr_check.Oracle} oracles (widening,
+    schedule, allocation, spill semantics) and a broken invariant
+    raises {!Wr_check.Oracle.Violation} with the loop and machine point
+    named.  Initialized from the [WR_VERIFY] environment variable
+    ([1]/[true]/[yes]/[on]). *)
+
+val verify_enabled : unit -> bool
+
+val verified_points : unit -> int
+(** Number of (loop, machine point) results that passed all oracles
+    since process start — a verified run can report "N points, zero
+    violations". *)
+
 type aggregate = {
   total_cycles : float;  (** weighted cycles over all loops *)
   loops : int;

@@ -12,8 +12,7 @@ let choose ~ii ~lifetimes ~already_spilled ~deficit =
     (* A lifetime is worth spilling when it holds a register across at
        least one full kernel revolution (length > II) and spans more
        than the reload round trip (length > 4). *)
-    let threshold = 4 in
-    ignore ii;
+    let threshold = Stdlib.max 4 ii in
     let candidates =
       List.filter
         (fun (lt : Lifetime.t) ->
@@ -117,11 +116,19 @@ let apply g ~vregs =
         let needs_rewrite = List.exists (fun (x : Ddg.operand) -> is_spilled x.Ddg.reg) ops_operands in
         if not needs_rewrite then o
         else
+          (* One reload serves every operand of this consumer that reads
+             the same spilled vreg at the same distance — without the
+             memo an op like [fmul x x] got two identical loads,
+             inflating spill traffic and code size. *)
+          let reload_memo = Hashtbl.create 2 in
           let new_uses =
             List.map
               (fun (x : Ddg.operand) ->
                 if not (is_spilled x.Ddg.reg) then x.Ddg.reg
-                else begin
+                else
+                  match Hashtbl.find_opt reload_memo (x.Ddg.reg, x.Ddg.distance) with
+                  | Some rv -> rv
+                  | None ->
                   let array_id, lanes, store_id = slot_of x.Ddg.reg in
                   let rv = !next_vreg in
                   incr next_vreg;
@@ -145,8 +152,8 @@ let apply g ~vregs =
                     :: Dependence.make ~src:load_id ~dst:o.Operation.id
                          ~kind:Dependence.Flow ~distance:0
                     :: !new_edges;
-                  rv
-                end)
+                  Hashtbl.add reload_memo (x.Ddg.reg, x.Ddg.distance) rv;
+                  rv)
               ops_operands
           in
           Operation.make ~id:o.Operation.id ~opcode:o.Operation.opcode

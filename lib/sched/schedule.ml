@@ -51,24 +51,37 @@ let validate g resource t =
     match !dep_error with
     | Some msg -> Error msg
     | None ->
-        (* Rebuild the reservation table and look for over-subscription. *)
+        (* Rebuild the reservation table and look for over-subscription.
+           [Mrt.can_place] is queried before every [Mrt.place], so a
+           failure here is a genuine capacity violation — an
+           [Invalid_argument] escaping [place] would indicate misuse of
+           the table (bad II, negative occupancy), not an illegal
+           schedule, and is deliberately left to propagate. *)
         let mrt = Mrt.create ~ii:t.ii resource in
         let res_error = ref None in
         Array.iter
           (fun (o : Operation.t) ->
             let cls = Opcode.resource_class o.Operation.opcode in
             let occupancy = Cycle_model.occupancy t.cycle_model o.Operation.opcode in
-            match Mrt.place mrt cls ~time:t.times.(o.Operation.id) ~occupancy with
-            | () -> ()
-            | exception Invalid_argument _ -> (
-                match !res_error with
-                | None ->
-                    res_error :=
-                      Some
-                        (Printf.sprintf "resource over-subscribed placing op%d at %d"
-                           o.Operation.id
-                           t.times.(o.Operation.id))
-                | Some _ -> ()))
+            let time = t.times.(o.Operation.id) in
+            if Mrt.can_place mrt cls ~time ~occupancy then
+              Mrt.place mrt cls ~time ~occupancy
+            else
+              match !res_error with
+              | None ->
+                  res_error :=
+                    Some
+                      (Printf.sprintf
+                         "resource over-subscribed: op%d (%s, occupancy %d) at time %d \
+                          exceeds the %d %s slot(s) of kernel slot %d (II %d)"
+                         o.Operation.id
+                         (Opcode.to_string o.Operation.opcode)
+                         occupancy time
+                         (Resource.slots resource cls)
+                         (match cls with Opcode.Bus -> "bus" | Opcode.Fpu -> "FPU")
+                         (((time mod t.ii) + t.ii) mod t.ii)
+                         t.ii)
+              | Some _ -> ())
           (Ddg.ops g);
         (match !res_error with Some msg -> Error msg | None -> Ok ())
   end

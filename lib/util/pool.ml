@@ -28,14 +28,17 @@ let default_jobs () =
 let jobs t = t.jobs
 
 let worker_loop t =
+  (* Drain the queue before honouring shutdown: a task accepted by
+     [submit] must run even when [shutdown] lands right behind it. *)
   let rec next_task () =
-    if t.shutting_down then None
-    else
-      match Queue.take_opt t.pending with
-      | Some _ as task -> task
-      | None ->
+    match Queue.take_opt t.pending with
+    | Some _ as task -> task
+    | None ->
+        if t.shutting_down then None
+        else begin
           Condition.wait t.nonempty t.mutex;
           next_task ()
+        end
   in
   let rec run () =
     Mutex.lock t.mutex;
@@ -75,10 +78,27 @@ let shutdown t =
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex;
   Array.iter Domain.join t.workers;
-  t.workers <- [||]
+  t.workers <- [||];
+  (* Run anything still queued in the calling domain (a size-1 pool has
+     no workers to drain it): every task accepted by [submit] runs. *)
+  let rec drain () =
+    Mutex.lock t.mutex;
+    let task = Queue.take_opt t.pending in
+    Mutex.unlock t.mutex;
+    match task with
+    | Some task ->
+        task ();
+        drain ()
+    | None -> ()
+  in
+  drain ()
 
 let submit t task =
   Mutex.lock t.mutex;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
   Queue.add task t.pending;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
@@ -108,6 +128,13 @@ let set_default_jobs j =
   let old = !default_pool in
   default_pool := Some (create ~jobs:j ());
   Mutex.unlock default_mutex;
+  (* The swap is already visible, so new [default ()] callers get the
+     fresh pool; shutting the old one down then drains every task it
+     accepted (its workers finish the queue before exiting, and
+     [shutdown] itself runs any leftovers), so a batch in flight on the
+     old pool completes with correct results.  A domain that raced
+     [default ()] and submits after the drain gets the explicit
+     [Invalid_argument] from {!submit} rather than a silent hang. *)
   Option.iter shutdown old
 
 (* --- batches ----------------------------------------------------------- *)

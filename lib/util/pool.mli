@@ -48,15 +48,27 @@ val jobs : t -> int
 (** The concurrency of the pool, including the calling domain. *)
 
 val shutdown : t -> unit
-(** Join all worker domains.  Idempotent.  Any [parallel_map] still in
-    flight completes first (its caller executes remaining tasks). *)
+(** Join all worker domains.  Idempotent.  Every task accepted by
+    {!submit} before the shutdown still runs: workers drain the queue
+    before exiting and [shutdown] itself executes any leftovers (a
+    size-1 pool has no workers), so a [parallel_map] in flight
+    completes with correct results. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one task for the pool's workers.  Raises [Invalid_argument]
+    if the pool is shutting down or already shut down — a submit can
+    never be silently dropped. *)
 
 val default : unit -> t
 (** The process-wide shared pool, created on first use. *)
 
 val set_default_jobs : int -> unit
-(** Replace the default pool with one of the given size (shutting the
-    old one down).  Drivers call this once at startup for [--jobs N]. *)
+(** Replace the default pool with one of the given size.  The swap is
+    safe against concurrent users of the old default: the old pool is
+    shut down only after the new one is published, its accepted tasks
+    all drain (see {!shutdown}), and any straggler submitting to it
+    afterwards gets the explicit {!submit} error instead of a lost
+    task.  Drivers call this once at startup for [--jobs N]. *)
 
 val parallel_map : ?pool:t -> 'a array -> f:('a -> 'b) -> 'b array
 (** Order-preserving chunked map over the pool ({!default} if [?pool]

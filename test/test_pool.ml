@@ -100,6 +100,53 @@ let test_shutdown_idempotent () =
   Pool.shutdown pool;
   Pool.shutdown pool
 
+let test_submit_after_shutdown_raises () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  match Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_shutdown_drains_accepted_tasks () =
+  (* A size-1 pool has no workers, so the only thing that can run the
+     queued tasks is shutdown's own drain. *)
+  let pool = Pool.create ~jobs:1 () in
+  let ran = ref 0 in
+  for _ = 1 to 5 do
+    Pool.submit pool (fun () -> incr ran)
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "every accepted task ran" 5 !ran
+
+let test_default_swap_race () =
+  (* Regression for the set_default_jobs race: a second domain hammers
+     the old default pool with submits while the main domain swaps it
+     out.  Every submit must either be accepted (and then run — the
+     swap drains the old pool) or fail with the explicit error; none
+     may be dropped on the floor. *)
+  Pool.set_default_jobs 2;
+  let old = Pool.default () in
+  let ran = Atomic.make 0 and accepted = Atomic.make 0 and rejected = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let bomber =
+    Domain.spawn (fun () ->
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        for _ = 1 to 2000 do
+          match Pool.submit old (fun () -> Atomic.incr ran) with
+          | () -> Atomic.incr accepted
+          | exception Invalid_argument _ -> Atomic.incr rejected
+        done)
+  in
+  (* Release the bomber first so the submits genuinely race the swap. *)
+  Atomic.set gate true;
+  Pool.set_default_jobs 2;
+  Domain.join bomber;
+  Alcotest.(check int) "all submits accounted for" 2000
+    (Atomic.get accepted + Atomic.get rejected);
+  Alcotest.(check int) "every accepted task ran" (Atomic.get accepted) (Atomic.get ran)
+
 let () =
   Alcotest.run "pool"
     [
@@ -122,5 +169,11 @@ let () =
           Alcotest.test_case "jobs >= 1 enforced" `Quick test_create_rejects_zero;
           Alcotest.test_case "jobs accessor" `Quick test_jobs_accessor;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "submit after shutdown raises" `Quick
+            test_submit_after_shutdown_raises;
+          Alcotest.test_case "shutdown drains accepted tasks" `Quick
+            test_shutdown_drains_accepted_tasks;
+          Alcotest.test_case "default swap vs concurrent submit" `Quick
+            test_default_swap_race;
         ] );
     ]

@@ -144,6 +144,44 @@ let test_spill_choose_respects_already_spilled () =
   Alcotest.(check bool) "nothing left" true
     (Spill.choose ~ii:3 ~lifetimes:lts ~already_spilled:(fun _ -> true) ~deficit:1 = None)
 
+let test_spill_choose_threshold_tracks_ii () =
+  (* Regression: the worth-spilling threshold is max(4, II), not a flat
+     4 — a lifetime must span a full kernel revolution before spilling
+     it can save a register. *)
+  let lts = [ { Lifetime.vreg = 0; def_op = 0; start = 0; stop = 8 } ] in
+  Alcotest.(check bool) "length 8 saves nothing at II 10" true
+    (Spill.choose ~ii:10 ~lifetimes:lts ~already_spilled:(fun _ -> false) ~deficit:1 = None);
+  Alcotest.(check bool) "length 8 is worth spilling at II 3" true
+    (Spill.choose ~ii:3 ~lifetimes:lts ~already_spilled:(fun _ -> false) ~deficit:1 <> None)
+
+let test_spill_apply_memoizes_reloads () =
+  (* Regression: a consumer reading the same spilled vreg twice at the
+     same distance (fmul x x) gets one shared reload, not two identical
+     loads. *)
+  let square () =
+    let b = Wr_ir.Builder.create () in
+    let x = Wr_ir.Builder.load b ~array_id:0 () in
+    let y = Wr_ir.Builder.fmul b x x in
+    Wr_ir.Builder.store b ~array_id:1 () y;
+    Wr_ir.Builder.finish b ~trip_count:10 ()
+  in
+  let loop = square () in
+  let g = loop.Loop.ddg in
+  let r = Option.get (Ddg.op g 0).Operation.def in
+  let res = Spill.apply g ~vregs:[ r ] in
+  Alcotest.(check int) "one reload serves both operands" 1 res.Spill.loads_added;
+  (* Reads at distinct distances still need distinct reloads: the slot
+     written [d] iterations earlier is a different address. *)
+  let b = Wr_ir.Builder.create () in
+  let x = Wr_ir.Builder.load b ~array_id:0 () in
+  let y = Wr_ir.Builder.fmul b x (Wr_ir.Builder.carried x ~distance:1) in
+  Wr_ir.Builder.store b ~array_id:1 () y;
+  let loop = Wr_ir.Builder.finish b ~trip_count:10 () in
+  let g = loop.Loop.ddg in
+  let r = Option.get (Ddg.op g 0).Operation.def in
+  let res = Spill.apply g ~vregs:[ r ] in
+  Alcotest.(check int) "distance-distinct reads keep separate reloads" 2 res.Spill.loads_added
+
 let test_spill_apply_structure () =
   let loop = K.banded_matvec () in
   let g = loop.Loop.ddg in
@@ -312,6 +350,8 @@ let () =
         [
           Alcotest.test_case "choose longest" `Quick test_spill_choose_picks_longest;
           Alcotest.test_case "already spilled" `Quick test_spill_choose_respects_already_spilled;
+          Alcotest.test_case "threshold tracks II" `Quick test_spill_choose_threshold_tracks_ii;
+          Alcotest.test_case "memoized reloads" `Quick test_spill_apply_memoizes_reloads;
           Alcotest.test_case "apply structure" `Quick test_spill_apply_structure;
           Alcotest.test_case "schedulable after" `Quick test_spill_apply_preserves_schedulability;
           Alcotest.test_case "reduces pressure" `Quick test_spill_reduces_pressure;
