@@ -23,19 +23,30 @@ let experiments =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig2"; "fig3"; "fig4";
     "fig6"; "fig7"; "fig8"; "fig9"; "conclusion"; "ablation-compact"; "ablation-levers";
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
-    "endtoend"; "parspeed"; "schedmicro"; "fuzz" ]
+    "endtoend"; "parspeed"; "schedmicro"; "fuzz"; "profile" ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE] \
-     [--verify] [--cases N] [--fuzz-seed N]\n"
+     [--verify] [--cases N] [--fuzz-seed N] [--trace FILE] [--metrics FILE]\n"
     (String.concat "|" experiments);
   exit 1
 
-let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path, verify_flag, fuzz_cases, fuzz_seed =
+let ( selected,
+      sample_size,
+      with_timing,
+      csv_dir,
+      jobs_flag,
+      json_path,
+      verify_flag,
+      fuzz_cases,
+      fuzz_seed,
+      trace_path,
+      metrics_path ) =
   let selected = ref "all" and sample = ref None and timing = ref true in
   let csv = ref None and jobs = ref None and json = ref None in
   let verify = ref false and cases = ref 200 and seed = ref 0x5EEDL in
+  let trace = ref None and metrics = ref None in
   let rec parse = function
     | [] -> ()
     | "-s" :: n :: rest ->
@@ -46,6 +57,12 @@ let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path, verify_fl
         parse rest
     | "--verify" :: rest ->
         verify := true;
+        parse rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
         parse rest
     | "--cases" :: n :: rest ->
         (match int_of_string_opt n with
@@ -72,11 +89,18 @@ let selected, sample_size, with_timing, csv_dir, jobs_flag, json_path, verify_fl
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!selected, !sample, !timing, !csv, !jobs, !json, !verify, !cases, !seed)
+  ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !cases, !seed, !trace,
+    !metrics )
 
 let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
 
 let () = if verify_flag then Core.Evaluate.set_verify true
+
+(* Telemetry turns on before any experiment runs: either output flag
+   requests it, and the profile mode needs it regardless. *)
+let () =
+  if trace_path <> None || metrics_path <> None || selected = "profile" then
+    Wr_obs.Obs.set_enabled true
 
 let effective_jobs () =
   match jobs_flag with Some j -> j | None -> Wr_util.Pool.default_jobs ()
@@ -457,6 +481,99 @@ let run_experiment id =
       paper_note
         "Engine check: every case re-verified by the independent invariant oracles \
          (dependences, reservation table, wands allocation, spill semantics)."
+  | "profile" ->
+      (* Per-stage profile of the full evaluation pipeline: run the
+         fig3 study (the heaviest exerciser of schedule + allocate +
+         spill + retry) with telemetry on, then break down where the
+         time and the retries went.  --trace/--metrics dump the same
+         run's raw data at exit. *)
+      let module Obs = Wr_obs.Obs in
+      Obs.set_enabled true;
+      Core.Evaluate.clear_cache ();
+      Obs.reset ();
+      let t0 = Unix.gettimeofday () in
+      let table = Core.Spill_study.run ~suite_id loops in
+      let wall = Unix.gettimeofday () -. t0 in
+      ignore table;
+      let snap = Obs.snapshot () in
+      let counter name =
+        Option.value ~default:0 (List.assoc_opt name snap.Obs.counters)
+      in
+      Printf.printf "Pipeline profile: fig3 study, %d loops, %d jobs, %.2fs wall\n\n"
+        (Array.length loops) (effective_jobs ()) wall;
+      Printf.printf "%-18s %9s %10s %10s %10s\n" "stage" "spans" "total_s" "mean_ms"
+        "max_ms";
+      List.iter
+        (fun (name, st) ->
+          Printf.printf "%-18s %9d %10.3f %10.3f %10.3f\n" name st.Obs.span_count
+            (float_of_int st.Obs.span_total_ns /. 1e9)
+            (float_of_int st.Obs.span_total_ns /. 1e6 /. float_of_int st.Obs.span_count)
+            (float_of_int st.Obs.span_max_ns /. 1e6))
+        snap.Obs.spans;
+      Printf.printf
+        "(stages nest and run concurrently: eval/suite fans out per-loop tasks while the \
+         study fans out eval/suite points, eval/loop contains sched/modulo, alloc and \
+         spill/apply — totals are per-stage CPU time, not wall time)\n\n";
+      let loop_spans =
+        List.filter (fun e -> e.Obs.ev_name = "eval/loop") (Obs.events ())
+      in
+      let slowest =
+        List.sort (fun a b -> compare b.Obs.ev_dur_ns a.Obs.ev_dur_ns) loop_spans
+      in
+      Printf.printf "Top 10 slowest (loop, machine point) evaluations:\n";
+      List.iteri
+        (fun i e ->
+          if i < 10 then
+            Printf.printf "  %8.2f ms  %-24s %s\n"
+              (float_of_int e.Obs.ev_dur_ns /. 1e6)
+              (Option.value ~default:"?" (List.assoc_opt "loop" e.Obs.ev_args))
+              (Option.value ~default:"?" (List.assoc_opt "config" e.Obs.ev_args)))
+        slowest;
+      Printf.printf "\nII escalation above the scheduler's first attempt (per Modulo.run):\n";
+      (match List.assoc_opt "sched/ii_minus_start" snap.Obs.histograms with
+      | None | Some [] -> Printf.printf "  (no scheduler runs recorded)\n"
+      | Some bins ->
+          let total = List.fold_left (fun acc (_, c) -> acc + c) 0 bins in
+          List.iter
+            (fun (v, c) ->
+              Printf.printf "  +%-3d %7d  (%5.1f%%)\n" v c
+                (100.0 *. float_of_int c /. float_of_int total))
+            bins);
+      let rate (s : Core.Evaluate.cache_stats) =
+        let t = s.Core.Evaluate.hits + s.Core.Evaluate.misses in
+        if t = 0 then 0.0 else 100.0 *. float_of_int s.Core.Evaluate.hits /. float_of_int t
+      in
+      let ls = Core.Evaluate.cache_stats `Loop in
+      let ss = Core.Evaluate.cache_stats `Suite in
+      Printf.printf "\nCache hit rates:\n";
+      Printf.printf "  suite-level: %d hits / %d misses (%.1f%%)\n" ss.Core.Evaluate.hits
+        ss.Core.Evaluate.misses (rate ss);
+      Printf.printf "  loop-level:  %d hits / %d misses (%.1f%%)\n" ls.Core.Evaluate.hits
+        ls.Core.Evaluate.misses (rate ls);
+      Printf.printf "\nScheduler and spill totals:\n";
+      List.iter
+        (fun name -> Printf.printf "  %-24s %d\n" name (counter name))
+        [ "eval/evaluations"; "sched/runs"; "sched/attempts"; "sched/evictions";
+          "sched/forces"; "sched/budget_exhausted"; "driver/probes"; "spill/vregs_spilled";
+          "spill/stores_added"; "spill/loads_added"; "spill/reloads_memoized" ];
+      Printf.printf "\nPool utilization (%d jobs):\n" (effective_jobs ());
+      if snap.Obs.lanes = [] then
+        Printf.printf "  (no pool tasks: single-domain run executes inline)\n"
+      else
+        List.iter
+          (fun lane ->
+            let v name =
+              Option.value ~default:0 (List.assoc_opt name lane.Obs.lane_counters)
+            in
+            Printf.printf "  lane %d: %d tasks, busy %.2fs (%.0f%% of wall), idle %.2fs\n"
+              lane.Obs.lane_id (v "pool/tasks_run")
+              (float_of_int (v "pool/busy_ns") /. 1e9)
+              (100.0 *. float_of_int (v "pool/busy_ns") /. 1e9 /. wall)
+              (float_of_int (v "pool/idle_ns") /. 1e9))
+          snap.Obs.lanes;
+      paper_note
+        "Engine profile: the paper's figures aggregate exactly these per-loop events \
+         (II escalations, spills, retries); this table is the raw distribution."
   | _ -> usage ());
   record_wall id (Unix.gettimeofday () -. started);
   Printf.printf "[%s generated in %.1fs]\n" id (Unix.gettimeofday () -. started);
@@ -538,13 +655,25 @@ let () =
   Printf.printf "%s\n" (Wr_workload.Suite.statistics loops);
   (* parspeed re-times fig3/fig9 at two pool sizes; keep it out of
      "all" so the default full run isn't doubled.  Invoke explicitly. *)
-  (* parspeed and fuzz are explicit-only modes: the first doubles the
-     heavy figures, the second is a verification pass, not a figure. *)
+  (* parspeed, fuzz and profile are explicit-only modes: the first
+     doubles the heavy figures, the second is a verification pass, and
+     the third re-runs fig3 under tracing — none is a figure of the
+     paper. *)
   if selected = "all" then
     List.iter run_experiment
-      (List.filter (fun e -> e <> "parspeed" && e <> "fuzz") experiments)
+      (List.filter (fun e -> e <> "parspeed" && e <> "fuzz" && e <> "profile") experiments)
   else run_experiment selected;
   if Core.Evaluate.verify_enabled () then
     Printf.printf "[verify] %d (loop, machine-point) results passed all oracles, 0 violations\n"
       (Core.Evaluate.verified_points ());
-  Option.iter (fun path -> write_json path ~suite_id ~loops) json_path
+  Option.iter (fun path -> write_json path ~suite_id ~loops) json_path;
+  Option.iter
+    (fun path ->
+      Wr_obs.Obs.write_trace path;
+      Printf.printf "[trace] wrote %s\n%!" path)
+    trace_path;
+  Option.iter
+    (fun path ->
+      Wr_obs.Obs.write_metrics path;
+      Printf.printf "[metrics] wrote %s\n%!" path)
+    metrics_path

@@ -27,8 +27,9 @@ let experiment_ids =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "all";
   ]
 
-let run_experiment id sample jobs =
+let run_experiment id sample jobs trace metrics =
   Option.iter Wr_util.Pool.set_default_jobs jobs;
+  if trace <> None || metrics <> None then Wr_obs.Obs.set_enabled true;
   let loops, suite_id = suite_of_sample sample in
   let print = print_string in
   let dispatch = function
@@ -66,7 +67,17 @@ let run_experiment id sample jobs =
           print_newline ()
         end)
       experiment_ids
-  else dispatch id
+  else dispatch id;
+  Option.iter
+    (fun path ->
+      Wr_obs.Obs.write_trace path;
+      Printf.eprintf "[trace] wrote %s\n" path)
+    trace;
+  Option.iter
+    (fun path ->
+      Wr_obs.Obs.write_metrics path;
+      Printf.eprintf "[metrics] wrote %s\n" path)
+    metrics
 
 let sample_arg =
   let doc = "Evaluate on a deterministic N-loop subsample of the 1180-loop suite." in
@@ -88,6 +99,22 @@ let jobs_arg =
   in
   Arg.(value & opt (some positive) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Enable pipeline telemetry and write a Chrome trace-event JSON file (load it in \
+     chrome://tracing or https://ui.perfetto.dev): one lane per domain, spans for every \
+     pipeline stage (widen, schedule, allocate, spill, verify, pool tasks)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable pipeline telemetry and write a flat JSON snapshot of every counter, histogram \
+     and span aggregate (scheduler attempts/evictions, spill rounds, cache hit rates, pool \
+     utilization)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let experiment_cmd =
   let id =
     let doc = "Experiment id: " ^ String.concat ", " experiment_ids ^ "." in
@@ -96,7 +123,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
-    Term.(const run_experiment $ id $ sample_arg $ jobs_arg)
+    Term.(const run_experiment $ id $ sample_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- schedule --------------------------------------------------------- *)
 

@@ -6,6 +6,7 @@ module Ddg = Wr_ir.Ddg
 module Operation = Wr_ir.Operation
 module Schedule = Wr_sched.Schedule
 module Driver = Wr_regalloc.Driver
+module Obs = Wr_obs.Obs
 
 type loop_result = {
   ii : int;
@@ -25,6 +26,23 @@ let eval_count = Atomic.make 0
 
 let evaluations () = Atomic.get eval_count
 
+(* Per-level cache accounting, always on (atomic increments are cheap
+   next to even a cache hit's hashing) so the telemetry snapshot and
+   the tests can read hit rates without enabling full tracing. *)
+type cache_stats = { hits : int; misses : int }
+
+let suite_hits = Atomic.make 0
+
+let suite_misses = Atomic.make 0
+
+let loop_hits = Atomic.make 0
+
+let loop_misses = Atomic.make 0
+
+let cache_stats = function
+  | `Suite -> { hits = Atomic.get suite_hits; misses = Atomic.get suite_misses }
+  | `Loop -> { hits = Atomic.get loop_hits; misses = Atomic.get loop_misses }
+
 (* Verification mode: every (loop, machine point) result is re-derived
    by the independent Wr_check oracles; any broken invariant raises
    [Wr_check.Oracle.Violation].  Off by default — the oracles run the
@@ -34,7 +52,16 @@ let verify_flag =
   Atomic.make
     (match Sys.getenv_opt "WR_VERIFY" with
     | Some ("1" | "true" | "yes" | "on") -> true
-    | _ -> false)
+    | Some ("0" | "false" | "no" | "off" | "") | None -> false
+    | Some bad ->
+        (* A typo like WR_VERIFY=ture must not silently disable the
+           oracles the caller asked for. *)
+        Printf.eprintf
+          "warning: invalid WR_VERIFY value %S (expected 1/true/yes/on or 0/false/no/off); \
+           verification stays off\n\
+           %!"
+          bad;
+        false)
 
 let set_verify b = Atomic.set verify_flag b
 
@@ -71,14 +98,17 @@ let sequential_cost ~cycle_model g =
   in
   resource_free
 
-let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
+let loop_on_impl (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
   Atomic.incr eval_count;
+  if Obs.enabled () then Obs.incr "eval/evaluations";
   (* The body is widened for the machine's width but NOT unrolled by
      the bus count: like the paper's compiler, the scheduler works on
      the loop as written, so the initiation interval (and with it the
      register pressure of aggressive machines) is quantized at
      II >= 1 per (wide) iteration. *)
-  let prepared, _stats = Wr_widen.Transform.widen loop ~width:c.Config.width in
+  let prepared, _stats =
+    Obs.span "widen" (fun () -> Wr_widen.Transform.widen loop ~width:c.Config.width)
+  in
   let resource = Resource.of_config c in
   let outcome = Driver.run resource ~cycle_model ~registers prepared.Loop.ddg in
   let verifying = verify_enabled () in
@@ -88,9 +118,10 @@ let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
         (Cycle_model.to_string cycle_model)
     in
     let vs =
-      Wr_check.Oracle.check_widening ~original:loop ~widened:prepared
-        ~width:c.Config.width
-      @ Wr_check.Oracle.check_driver resource ~registers ~pre:prepared outcome
+      Obs.span "verify" (fun () ->
+          Wr_check.Oracle.check_widening ~original:loop ~widened:prepared
+            ~width:c.Config.width
+          @ Wr_check.Oracle.check_driver resource ~registers ~pre:prepared outcome)
     in
     Wr_check.Oracle.fail_if_any ~context vs;
     Atomic.incr verified_count
@@ -140,6 +171,14 @@ let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
         trip_count = prepared.Loop.trip_count;
       }
 
+let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
+  if not (Obs.enabled ()) then loop_on_impl c ~cycle_model ~registers loop
+  else
+    (* The args list is only built when tracing is on. *)
+    Obs.span "eval/loop"
+      ~args:[ ("loop", loop.Loop.name); ("config", Config.label c) ]
+      (fun () -> loop_on_impl c ~cycle_model ~registers loop)
+
 type aggregate = {
   total_cycles : float;
   loops : int;
@@ -173,12 +212,25 @@ let clear_cache () =
   Mutex.lock cache_mutex;
   Hashtbl.reset cache;
   Hashtbl.reset loop_cache;
-  Mutex.unlock cache_mutex
+  Mutex.unlock cache_mutex;
+  (* The hit/miss statistics describe the cache contents; dropping one
+     without the other would make subsequent hit rates unreadable. *)
+  Atomic.set suite_hits 0;
+  Atomic.set suite_misses 0;
+  Atomic.set loop_hits 0;
+  Atomic.set loop_misses 0
 
 let cache_find key =
   Mutex.lock cache_mutex;
   let r = Hashtbl.find_opt cache key in
   Mutex.unlock cache_mutex;
+  (match r with
+  | Some _ ->
+      Atomic.incr suite_hits;
+      if Obs.enabled () then Obs.incr "eval/suite_cache_hits"
+  | None ->
+      Atomic.incr suite_misses;
+      if Obs.enabled () then Obs.incr "eval/suite_cache_misses");
   r
 
 let cache_store key agg =
@@ -199,8 +251,13 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
   let hit = Hashtbl.find_opt loop_cache key in
   Mutex.unlock cache_mutex;
   match hit with
-  | Some r -> r
+  | Some r ->
+      Atomic.incr loop_hits;
+      if Obs.enabled () then Obs.incr "eval/loop_cache_hits";
+      r
   | None ->
+      Atomic.incr loop_misses;
+      if Obs.enabled () then Obs.incr "eval/loop_cache_misses";
       let r = loop_on c ~cycle_model ~registers loop in
       Mutex.lock cache_mutex;
       (* First store wins so concurrent callers settle on one physical
@@ -228,8 +285,11 @@ let suite_on ?pool ~suite_id (c : Config.t) ~cycle_model ~registers loops =
          aggregate, bit for bit — is identical for any pool size. *)
       let indexed = Array.mapi (fun i loop -> (i, loop)) loops in
       let results =
-        Wr_util.Pool.parallel_map ?pool indexed ~f:(fun (i, loop) ->
-            loop_cached ~suite_id ~index:i c ~cycle_model ~registers loop)
+        (if not (Obs.enabled ()) then fun f -> f ()
+         else Obs.span "eval/suite" ~args:[ ("config", Config.label c) ])
+          (fun () ->
+            Wr_util.Pool.parallel_map ?pool indexed ~f:(fun (i, loop) ->
+                loop_cached ~suite_id ~index:i c ~cycle_model ~registers loop))
       in
       let total_cycles = ref 0.0 in
       let unpipelined = ref 0 and spilled = ref 0 in

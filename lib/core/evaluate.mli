@@ -67,6 +67,13 @@ val evaluations : unit -> int
     pipeline since process start (cache hits do not count) — a test
     hook for the caching discipline. *)
 
+type cache_stats = { hits : int; misses : int }
+
+val cache_stats : [ `Suite | `Loop ] -> cache_stats
+(** Hit/miss counts per memo level ([`Suite]: whole-suite aggregates;
+    [`Loop]: per-loop results).  Always counted, thread-safe, and reset
+    by {!clear_cache} alongside the cached entries themselves. *)
+
 val set_verify : bool -> unit
 (** Toggle verification mode: when on, every {!loop_on} result is
     re-derived by the independent {!Wr_check.Oracle} oracles (widening,
@@ -110,4 +117,4 @@ val acceptable : aggregate -> bool
 
 val clear_cache : unit -> unit
 (** Drops both memo levels: the suite aggregates and the per-loop
-    results. *)
+    results.  Also resets {!cache_stats} for both levels. *)

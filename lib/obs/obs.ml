@@ -1,0 +1,377 @@
+external now_ns : unit -> int = "wr_obs_monotonic_ns" [@@noalloc]
+
+let start_ns = now_ns ()
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+(* --- sinks ------------------------------------------------------------- *)
+
+type raw_event = {
+  re_name : string;
+  re_args : (string * string) list;
+  re_start_ns : int;
+  re_dur_ns : int;
+}
+
+let dummy_event = { re_name = ""; re_args = []; re_start_ns = 0; re_dur_ns = 0 }
+
+type sink = {
+  lane : int;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, (int, int ref) Hashtbl.t) Hashtbl.t;
+  rt_counters : (string, int ref) Hashtbl.t;
+  rt_hists : (string, (int, int ref) Hashtbl.t) Hashtbl.t;
+  mutable events : raw_event array;
+  mutable n_events : int;
+}
+
+(* Registry of every sink ever created.  Sinks are domain-local for
+   recording (no lock on the hot path) but live here for merging; a
+   sink outlives its domain so counters from a drained pool still merge. *)
+let registry : sink list ref = ref []
+
+let registry_mutex = Mutex.create ()
+
+let next_lane = ref 0
+
+let make_sink () =
+  Mutex.lock registry_mutex;
+  let lane = !next_lane in
+  incr next_lane;
+  let s =
+    {
+      lane;
+      counters = Hashtbl.create 32;
+      hists = Hashtbl.create 16;
+      rt_counters = Hashtbl.create 16;
+      rt_hists = Hashtbl.create 8;
+      events = Array.make 256 dummy_event;
+      n_events = 0;
+    }
+  in
+  registry := s :: !registry;
+  Mutex.unlock registry_mutex;
+  s
+
+let sink_key = Domain.DLS.new_key make_sink
+
+let sink () = Domain.DLS.get sink_key
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun s ->
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.hists;
+      Hashtbl.reset s.rt_counters;
+      Hashtbl.reset s.rt_hists;
+      s.events <- Array.make 256 dummy_event;
+      s.n_events <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+(* --- recording --------------------------------------------------------- *)
+
+let tbl_add tbl name n =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add tbl name (ref n)
+
+let hist_observe hists name v =
+  let h =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.add hists name h;
+        h
+  in
+  match Hashtbl.find_opt h v with Some r -> incr r | None -> Hashtbl.add h v (ref 1)
+
+let add name n = if enabled () then tbl_add (sink ()).counters name n
+
+let incr name = add name 1
+
+let observe name v = if enabled () then hist_observe (sink ()).hists name v
+
+let runtime_add name n = if enabled () then tbl_add (sink ()).rt_counters name n
+
+let runtime_observe name v = if enabled () then hist_observe (sink ()).rt_hists name v
+
+let record_event s name args start_ns dur_ns =
+  if s.n_events = Array.length s.events then begin
+    let bigger = Array.make (2 * s.n_events) dummy_event in
+    Array.blit s.events 0 bigger 0 s.n_events;
+    s.events <- bigger
+  end;
+  s.events.(s.n_events) <-
+    { re_name = name; re_args = args; re_start_ns = start_ns; re_dur_ns = dur_ns };
+  s.n_events <- s.n_events + 1
+
+let span ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let s = sink () in
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+        record_event s name args (t0 - start_ns) (now_ns () - t0);
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        record_event s name args (t0 - start_ns) (now_ns () - t0);
+        Printexc.raise_with_backtrace e bt
+  end
+
+(* --- snapshots --------------------------------------------------------- *)
+
+type histogram = (int * int) list
+
+type span_stat = { span_count : int; span_total_ns : int; span_max_ns : int }
+
+type lane = {
+  lane_id : int;
+  lane_counters : (string * int) list;
+  lane_histograms : (string * histogram) list;
+}
+
+type event = {
+  ev_lane : int;
+  ev_name : string;
+  ev_args : (string * string) list;
+  ev_start_ns : int;
+  ev_dur_ns : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram) list;
+  spans : (string * span_stat) list;
+  lanes : lane list;
+}
+
+let sinks () =
+  Mutex.lock registry_mutex;
+  let l = !registry in
+  Mutex.unlock registry_mutex;
+  l
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
+
+let sorted_hists hists =
+  List.sort compare
+    (Hashtbl.fold (fun name h acc -> (name, sorted_bindings h) :: acc) hists [])
+
+(* Merging sums per key, so the result is independent of sink order —
+   the registry list order depends on domain spawn interleaving. *)
+let merge_counters sinks select =
+  let out : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s -> Hashtbl.iter (fun name r -> tbl_add out name !r) (select s))
+    sinks;
+  sorted_bindings out
+
+let merge_hists sinks select =
+  let out : (string, (int, int ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name h ->
+          Hashtbl.iter
+            (fun v r ->
+              let dst =
+                match Hashtbl.find_opt out name with
+                | Some d -> d
+                | None ->
+                    let d = Hashtbl.create 16 in
+                    Hashtbl.add out name d;
+                    d
+              in
+              match Hashtbl.find_opt dst v with
+              | Some c -> c := !c + !r
+              | None -> Hashtbl.add dst v (ref !r))
+            h)
+        (select s))
+    sinks;
+  sorted_hists out
+
+let events () =
+  let all =
+    List.concat_map
+      (fun s ->
+        List.init s.n_events (fun i ->
+            let e = s.events.(i) in
+            {
+              ev_lane = s.lane;
+              ev_name = e.re_name;
+              ev_args = e.re_args;
+              ev_start_ns = e.re_start_ns;
+              ev_dur_ns = e.re_dur_ns;
+            }))
+      (sinks ())
+  in
+  List.sort (fun a b -> compare (a.ev_start_ns, a.ev_lane) (b.ev_start_ns, b.ev_lane)) all
+
+let snapshot () =
+  let sinks = sinks () in
+  let span_stats : (string, span_stat ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      for i = 0 to s.n_events - 1 do
+        let e = s.events.(i) in
+        match Hashtbl.find_opt span_stats e.re_name with
+        | Some r ->
+            r :=
+              {
+                span_count = !r.span_count + 1;
+                span_total_ns = !r.span_total_ns + e.re_dur_ns;
+                span_max_ns = Stdlib.max !r.span_max_ns e.re_dur_ns;
+              }
+        | None ->
+            Hashtbl.add span_stats e.re_name
+              (ref { span_count = 1; span_total_ns = e.re_dur_ns; span_max_ns = e.re_dur_ns })
+      done)
+    sinks;
+  {
+    counters = merge_counters sinks (fun s -> s.counters);
+    histograms = merge_hists sinks (fun s -> s.hists);
+    spans =
+      List.sort compare
+        (Hashtbl.fold (fun name r acc -> (name, !r) :: acc) span_stats []);
+    lanes =
+      List.filter_map
+        (fun s ->
+          if Hashtbl.length s.rt_counters = 0 && Hashtbl.length s.rt_hists = 0 then None
+          else
+            Some
+              {
+                lane_id = s.lane;
+                lane_counters = sorted_bindings s.rt_counters;
+                lane_histograms = sorted_hists s.rt_hists;
+              })
+        (List.sort (fun a b -> compare a.lane b.lane) sinks);
+  }
+
+(* --- serialization ----------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let buf_concat buf sep emit = function
+  | [] -> ()
+  | x :: rest ->
+      emit x;
+      List.iter
+        (fun x ->
+          Buffer.add_string buf sep;
+          emit x)
+        rest
+
+let add_hist buf (name, bins) =
+  Buffer.add_string buf (Printf.sprintf "\"%s\": [" (escape name));
+  buf_concat buf ", "
+    (fun (v, c) -> Buffer.add_string buf (Printf.sprintf "{\"value\": %d, \"count\": %d}" v c))
+    bins;
+  Buffer.add_string buf "]"
+
+let metrics_json () =
+  let s = snapshot () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"counters\": {";
+  buf_concat buf ", "
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (escape name) v))
+    s.counters;
+  Buffer.add_string buf "},\n  \"histograms\": {";
+  buf_concat buf ", " (add_hist buf) s.histograms;
+  Buffer.add_string buf "},\n  \"spans\": {";
+  buf_concat buf ", "
+    (fun (name, st) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\": {\"count\": %d, \"total_ns\": %d, \"max_ns\": %d}"
+           (escape name) st.span_count st.span_total_ns st.span_max_ns))
+    s.spans;
+  Buffer.add_string buf "},\n  \"runtime\": [";
+  buf_concat buf ", "
+    (fun lane ->
+      Buffer.add_string buf (Printf.sprintf "{\"lane\": %d, \"counters\": {" lane.lane_id);
+      buf_concat buf ", "
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (escape name) v))
+        lane.lane_counters;
+      Buffer.add_string buf "}, \"histograms\": {";
+      buf_concat buf ", " (add_hist buf) lane.lane_histograms;
+      Buffer.add_string buf "}}")
+    s.lanes;
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+let trace_json () =
+  let evs = events () in
+  let lanes = List.sort_uniq compare (List.map (fun e -> e.ev_lane) evs) in
+  let buf = Buffer.create (256 * (List.length evs + 4)) in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  let emit_event e =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \
+          \"ts\": %.3f, \"dur\": %.3f"
+         (escape e.ev_name)
+         (escape
+            (match String.index_opt e.ev_name '/' with
+            | Some i -> String.sub e.ev_name 0 i
+            | None -> e.ev_name))
+         e.ev_lane
+         (float_of_int e.ev_start_ns /. 1e3)
+         (float_of_int e.ev_dur_ns /. 1e3));
+    if e.ev_args <> [] then begin
+      Buffer.add_string buf ", \"args\": {";
+      buf_concat buf ", "
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v)))
+        e.ev_args;
+      Buffer.add_string buf "}"
+    end;
+    Buffer.add_string buf "}"
+  in
+  let first = ref true in
+  List.iter
+    (fun lane ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+            \"args\": {\"name\": \"domain-%d\"}}"
+           lane lane))
+    lanes;
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      emit_event e)
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> output_string oc contents)
+
+let write_metrics path = write_file path (metrics_json ())
+
+let write_trace path = write_file path (trace_json ())

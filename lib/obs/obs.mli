@@ -1,0 +1,118 @@
+(** Low-overhead, pool-aware telemetry: spans, counters, histograms.
+
+    Every recording primitive is a single [Atomic.get] + branch when
+    telemetry is disabled (the default), so instrumentation can live
+    permanently in the hot paths of the scheduler and the evaluation
+    engine.  When enabled, each domain records into its own {e sink}
+    (domain-local storage, no cross-domain contention on the hot path);
+    sinks register themselves in a global registry and {!snapshot}
+    merges them deterministically:
+
+    - {b counters} and {b histograms} merge by summation, which is
+      commutative — a study instrumented only through tasks whose work
+      is independent of placement produces identical merged values for
+      any pool size;
+    - {b runtime} counters/histograms (pool queue depths, per-worker
+      busy/idle time) are inherently placement-dependent and are kept
+      in a separate per-lane section, excluded from the determinism
+      contract;
+    - {b spans} (monotonic-clock timed scopes) keep their lane of
+      origin, one lane per domain, and serialize to Chrome trace-event
+      JSON loadable in [chrome://tracing] / Perfetto.
+
+    Merging and serialization are only meant to run while the process
+    is quiescent (no pool tasks in flight), e.g. after a study driver
+    returns. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+(** One atomic load; the only cost the disabled mode pays. *)
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Clear every sink's counters, histograms, and events in place (the
+    sinks themselves stay registered with their lanes).  Call only when
+    no recording is in flight. *)
+
+(** {1 Recording} *)
+
+val now_ns : unit -> int
+(** [CLOCK_MONOTONIC] in nanoseconds, as an untagged int (no
+    allocation). *)
+
+val incr : string -> unit
+(** Add 1 to a deterministic counter. *)
+
+val add : string -> int -> unit
+(** Add [n] to a deterministic counter. *)
+
+val observe : string -> int -> unit
+(** Record one occurrence of an exact integer value into a
+    deterministic histogram. *)
+
+val runtime_add : string -> int -> unit
+(** Add to a per-lane runtime counter (placement-dependent values:
+    busy nanoseconds, task counts per worker...). *)
+
+val runtime_observe : string -> int -> unit
+(** Record into a per-lane runtime histogram (queue depths...). *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when telemetry is enabled, the scope is
+    timed with the monotonic clock and recorded as a complete event on
+    the calling domain's lane (also on exceptional exit, before the
+    exception is re-raised with its backtrace).  When building [?args]
+    at the call site would itself allocate, guard the call on
+    {!enabled}. *)
+
+(** {1 Snapshots} *)
+
+type histogram = (int * int) list
+(** [(value, count)] pairs, sorted by value. *)
+
+type span_stat = { span_count : int; span_total_ns : int; span_max_ns : int }
+
+type lane = {
+  lane_id : int;
+  lane_counters : (string * int) list;
+  lane_histograms : (string * histogram) list;
+}
+
+type event = {
+  ev_lane : int;
+  ev_name : string;
+  ev_args : (string * string) list;
+  ev_start_ns : int;  (** relative to process start *)
+  ev_dur_ns : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** merged over all sinks, sorted by name *)
+  histograms : (string * histogram) list;  (** merged, sorted by name *)
+  spans : (string * span_stat) list;  (** merged per-name aggregates, sorted *)
+  lanes : lane list;  (** runtime (non-deterministic) section, by lane *)
+}
+
+val snapshot : unit -> snapshot
+
+val events : unit -> event list
+(** All recorded complete events, sorted by start time. *)
+
+(** {1 Serialization} *)
+
+val metrics_json : unit -> string
+(** Flat JSON object with [counters], [histograms], [spans], and a
+    per-lane [runtime] array. *)
+
+val trace_json : unit -> string
+(** Chrome trace-event JSON ([traceEvents] of ["ph":"X"] complete
+    events, one [tid] lane per domain plus [thread_name] metadata);
+    loads in [chrome://tracing] and Perfetto. *)
+
+val write_metrics : string -> unit
+(** Write {!metrics_json} to a file. *)
+
+val write_trace : string -> unit
+(** Write {!trace_json} to a file. *)

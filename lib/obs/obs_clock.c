@@ -1,0 +1,14 @@
+/* Monotonic clock for Wr_obs spans: CLOCK_MONOTONIC nanoseconds as an
+   untagged OCaml int (63 bits hold ~146 years of nanoseconds), so a
+   timestamp read never allocates. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value wr_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,6 +1,7 @@
 module Ddg = Wr_ir.Ddg
 module Schedule = Wr_sched.Schedule
 module Modulo = Wr_sched.Modulo
+module Obs = Wr_obs.Obs
 
 type success = {
   graph : Ddg.t;
@@ -19,8 +20,12 @@ type policy = Combined | Spill_only | Escalate_only
 (* One schedule-and-allocate probe. *)
 let probe resource ~cycle_model ~min_ii g =
   let result = Modulo.run resource ~cycle_model ~min_ii g in
-  let lifetimes = Lifetime.of_schedule g result.Modulo.schedule in
-  let alloc = Alloc.allocate ~ii:result.Modulo.schedule.Schedule.ii lifetimes in
+  let lifetimes, alloc =
+    Obs.span "alloc" (fun () ->
+        let lifetimes = Lifetime.of_schedule g result.Modulo.schedule in
+        (lifetimes, Alloc.allocate ~ii:result.Modulo.schedule.Schedule.ii lifetimes))
+  in
+  if Obs.enabled () then Obs.incr "driver/probes";
   (result, lifetimes, alloc)
 
 (* Lever 1 (Llosa, MICRO-29): increase the II.  A slower loop overlaps
@@ -30,6 +35,7 @@ let probe resource ~cycle_model ~min_ii g =
    up": a loop that cannot fit even 4x slower than its MII is declared
    unschedulable at this register file size (the paper's 8w1/32). *)
 let escalate resource ~cycle_model ~registers ~lo ~cap g =
+  Obs.span "driver/escalate" @@ fun () ->
   let fits_at ii =
     let result, _, alloc = probe resource ~cycle_model ~min_ii:ii g in
     if Alloc.fits alloc ~available:registers then Some (result, alloc) else None
@@ -55,12 +61,15 @@ let escalate resource ~cycle_model ~registers ~lo ~cap g =
    use, rescheduling after every round; stop when the requirement
    plateaus. *)
 let spill_loop resource ~cycle_model ~registers ~max_rounds g =
+  Obs.span "driver/spill_loop" @@ fun () ->
   let spilled_ever = Hashtbl.create 16 in
   let reload_regs = Hashtbl.create 16 in
   let rec iterate g round stores loads prev_required stall =
     let result, lifetimes, alloc = probe resource ~cycle_model ~min_ii:1 g in
-    if Alloc.fits alloc ~available:registers then
+    if Alloc.fits alloc ~available:registers then begin
+      if Obs.enabled () then Obs.observe "spill/rounds_to_fit" round;
       Some (g, result, alloc, round, stores, loads)
+    end
     else if round >= max_rounds then None
     else begin
       let stall = if alloc.Alloc.required >= prev_required then stall + 1 else 0 in

@@ -3,6 +3,7 @@ module Dependence = Wr_ir.Dependence
 module Operation = Wr_ir.Operation
 module Opcode = Wr_ir.Opcode
 module Memref = Wr_ir.Memref
+module Obs = Wr_obs.Obs
 
 type plan = { vregs : int list; estimated_savings : int }
 
@@ -49,7 +50,8 @@ type result = {
   loads_added : int;
 }
 
-let apply g ~vregs =
+let apply_impl g ~vregs =
+  let memo_hits = ref 0 in
   let spill_set = Hashtbl.create 8 in
   List.iter
     (fun r ->
@@ -127,7 +129,9 @@ let apply g ~vregs =
                 if not (is_spilled x.Ddg.reg) then x.Ddg.reg
                 else
                   match Hashtbl.find_opt reload_memo (x.Ddg.reg, x.Ddg.distance) with
-                  | Some rv -> rv
+                  | Some rv ->
+                      incr memo_hits;
+                      rv
                   | None ->
                   let array_id, lanes, store_id = slot_of x.Ddg.reg in
                   let rv = !next_vreg in
@@ -181,6 +185,12 @@ let apply g ~vregs =
   let graph =
     Ddg.create ~num_vregs:!next_vreg ~ops ~edges:(kept_edges @ !new_edges)
   in
+  if Obs.enabled () then begin
+    Obs.add "spill/vregs_spilled" (List.length vregs);
+    Obs.add "spill/stores_added" !stores_added;
+    Obs.add "spill/loads_added" !loads_added;
+    Obs.add "spill/reloads_memoized" !memo_hits
+  end;
   {
     graph;
     spilled = vregs;
@@ -188,3 +198,5 @@ let apply g ~vregs =
     stores_added = !stores_added;
     loads_added = !loads_added;
   }
+
+let apply g ~vregs = Obs.span "spill/apply" (fun () -> apply_impl g ~vregs)

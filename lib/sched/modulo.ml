@@ -3,6 +3,7 @@ module Operation = Wr_ir.Operation
 module Opcode = Wr_ir.Opcode
 module Cycle_model = Wr_machine.Cycle_model
 module Resource = Wr_machine.Resource
+module Obs = Wr_obs.Obs
 
 type result = {
   schedule : Schedule.t;
@@ -134,6 +135,10 @@ let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~orderin
   Array.fill scheduled 0 n false;
   let num_scheduled = ref 0 in
   let placements = ref 0 in
+  (* Telemetry tallies are kept in plain refs and flushed once per
+     attempt, so the placement loop pays nothing for them. *)
+  let evictions = ref 0 in
+  let forces = ref 0 in
   (* Static priority order.  IMS: critical recurrences first, then
      greater height, then lower id for determinism.  SMS: the
      lifetime-sensitive swing order.  A cursor walks the order;
@@ -159,6 +164,7 @@ let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~orderin
     Mrt.remove mrt op_cls.(q) ~time:time.(q) ~occupancy:op_occ.(q);
     scheduled.(q) <- false;
     decr num_scheduled;
+    incr evictions;
     if position.(q) < !cursor then cursor := position.(q)
   in
   let pick () =
@@ -228,6 +234,7 @@ let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~orderin
   let force op t =
     (* Evict same-class operations until the slot frees up, then any
        scheduled successor whose constraint the new placement breaks. *)
+    incr forces;
     let t = Stdlib.max t 0 in
     let evictable = ref [] in
     for q = 0 to n - 1 do
@@ -309,6 +316,12 @@ let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~orderin
       end
     end
   done;
+  if Obs.enabled () then begin
+    Obs.incr "sched/attempts";
+    Obs.add "sched/evictions" !evictions;
+    Obs.add "sched/forces" !forces;
+    if not !ok then Obs.incr "sched/budget_exhausted"
+  end;
   if !ok then Some (Array.copy time, !placements) else None
 
 let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(ordering = `Ims) g =
@@ -352,6 +365,14 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
             total_placements := !total_placements + budget;
             loop (ii + 1)
     in
-    let schedule = loop (Stdlib.max mii min_ii) in
+    let start_ii = Stdlib.max mii min_ii in
+    let schedule = Obs.span "sched/modulo" (fun () -> loop start_ii) in
+    if Obs.enabled () then begin
+      Obs.incr "sched/runs";
+      (* II escalation above the first II tried: the paper's retry
+         distribution (0 = scheduled at the MII). *)
+      Obs.observe "sched/ii_minus_start" (schedule.Schedule.ii - start_ii);
+      Obs.add "sched/placements" !total_placements
+    end;
     { schedule; mii; res_mii; rec_mii; placements = !total_placements }
   end

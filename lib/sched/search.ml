@@ -4,6 +4,7 @@ module Operation = Wr_ir.Operation
 module Opcode = Wr_ir.Opcode
 module Cycle_model = Wr_machine.Cycle_model
 module Resource = Wr_machine.Resource
+module Obs = Wr_obs.Obs
 
 type outcome = Feasible of Schedule.t | Infeasible | Gave_up
 
@@ -154,10 +155,22 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) ?scratch g =
         try_time lo
       end
     in
+    let flush outcome_counter =
+      if Obs.enabled () then begin
+        Obs.incr "search/at_ii";
+        Obs.add "search/nodes" !nodes;
+        Obs.incr outcome_counter
+      end
+    in
     match assign 0 with
-    | exception Out_of_budget -> Gave_up
-    | false -> Infeasible
+    | exception Out_of_budget ->
+        flush "search/gave_up";
+        Gave_up
+    | false ->
+        flush "search/infeasible";
+        Infeasible
     | true -> (
+        flush "search/feasible";
         (* Normalize to non-negative times: a uniform shift preserves
            dependences and rotates the reservation table consistently. *)
         let lowest = Array.fold_left Stdlib.min time.(0) time in
@@ -181,4 +194,11 @@ let min_ii resource ~cycle_model ?max_nodes g =
       | Feasible s -> Some (ii, s)
       | Infeasible | Gave_up -> go (ii + 1) (attempts_left - 1)
   in
-  go mii 32
+  let r = Obs.span "search/min_ii" (fun () -> go mii 32) in
+  if Obs.enabled () then begin
+    Obs.incr "search/runs";
+    match r with
+    | Some (ii, _) -> Obs.observe "search/ii_minus_mii" (ii - mii)
+    | None -> Obs.incr "search/exhausted"
+  end;
+  r

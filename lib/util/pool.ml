@@ -20,12 +20,62 @@ type t = {
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with Some n when n >= 1 -> Some n | _ -> None
 
+(* A bad WR_JOBS must not be silently swallowed (a typo like
+   WR_JOBS=-4 or WR_JOBS=four would otherwise quietly run at the core
+   count); warn once, naming both the bad value and the default used. *)
+let warned_bad_jobs = ref false
+
 let default_jobs () =
-  match Option.bind (Sys.getenv_opt "WR_JOBS") parse_jobs with
-  | Some n -> n
+  match Sys.getenv_opt "WR_JOBS" with
   | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match parse_jobs s with
+      | Some n -> n
+      | None ->
+          let d = Domain.recommended_domain_count () in
+          if not !warned_bad_jobs then begin
+            warned_bad_jobs := true;
+            Printf.eprintf
+              "warning: invalid WR_JOBS value %S (expected a positive integer); using the \
+               default of %d\n\
+               %!"
+              s d
+          end;
+          d)
 
 let jobs t = t.jobs
+
+module Obs = Wr_obs.Obs
+
+(* Telemetry: each executed task is a span on the executing domain's
+   lane, and per-worker busy time and task counts accumulate as
+   runtime (placement-dependent) metrics.  All of it is behind the
+   single [Obs.enabled] branch.
+
+   Tasks nest (a task's own [parallel_map] makes the domain "help" run
+   inner tasks), so busy time is only accumulated for the outermost
+   task of each domain — otherwise a helping domain would double-count
+   every nested task and report more busy time than wall time. *)
+let task_depth = Domain.DLS.new_key (fun () -> ref 0)
+
+let run_task task =
+  if Obs.enabled () then begin
+    let depth = Domain.DLS.get task_depth in
+    Stdlib.incr depth;
+    let t0 = Obs.now_ns () in
+    let finish () =
+      Stdlib.decr depth;
+      if !depth = 0 then Obs.runtime_add "pool/busy_ns" (Obs.now_ns () - t0);
+      Obs.runtime_add "pool/tasks_run" 1
+    in
+    (match Obs.span "pool/task" task with
+    | () -> finish ()
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt)
+  end
+  else task ()
 
 let worker_loop t =
   (* Drain the queue before honouring shutdown: a task accepted by
@@ -36,7 +86,12 @@ let worker_loop t =
     | None ->
         if t.shutting_down then None
         else begin
-          Condition.wait t.nonempty t.mutex;
+          if Obs.enabled () then begin
+            let t0 = Obs.now_ns () in
+            Condition.wait t.nonempty t.mutex;
+            Obs.runtime_add "pool/idle_ns" (Obs.now_ns () - t0)
+          end
+          else Condition.wait t.nonempty t.mutex;
           next_task ()
         end
   in
@@ -47,7 +102,7 @@ let worker_loop t =
     match task with
     | None -> ()
     | Some task ->
-        task ();
+        run_task task;
         run ()
   in
   run ()
@@ -87,7 +142,7 @@ let shutdown t =
     Mutex.unlock t.mutex;
     match task with
     | Some task ->
-        task ();
+        run_task task;
         drain ()
     | None -> ()
   in
@@ -98,6 +153,10 @@ let submit t task =
   if t.shutting_down then begin
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
+  end;
+  if Obs.enabled () then begin
+    Obs.runtime_add "pool/tasks_submitted" 1;
+    Obs.runtime_observe "pool/queue_depth" (Queue.length t.pending)
   end;
   Queue.add task t.pending;
   Condition.signal t.nonempty;
@@ -174,7 +233,7 @@ let help_until_done t batch =
       Mutex.unlock t.mutex;
       match task with
       | Some task ->
-          task ();
+          run_task task;
           drain ()
       | None ->
           Mutex.lock batch.b_mutex;

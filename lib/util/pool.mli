@@ -32,13 +32,23 @@
 
     If [f] raises, the first exception (in completion order) is
     re-raised in the calling domain with its original backtrace after
-    the whole batch has drained; the other chunks still run. *)
+    the whole batch has drained; the other chunks still run.
+
+    {2 Telemetry}
+
+    When {!Wr_obs.Obs} is enabled, every executed task is recorded as a
+    [pool/task] span on the executing domain's lane, and each worker
+    accumulates [pool/busy_ns] / [pool/idle_ns] / [pool/tasks_run]
+    runtime metrics; [submit] samples [pool/queue_depth].  Disabled
+    (the default), each hook is a single atomic-load branch. *)
 
 type t
 
 val default_jobs : unit -> int
 (** [WR_JOBS] if set to a positive integer, else
-    [Domain.recommended_domain_count ()]. *)
+    [Domain.recommended_domain_count ()].  An invalid [WR_JOBS] value
+    falls back to the latter with a one-line warning on stderr (printed
+    once per process) naming the bad value and the default used. *)
 
 val create : ?jobs:int -> unit -> t
 (** Spawn a pool of [jobs - 1] worker domains (default {!default_jobs}).
