@@ -25,10 +25,15 @@ let experiments =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
     "endtoend"; "parspeed"; "schedmicro"; "fuzz"; "profile" ]
 
+(* Exit codes (documented in the README): 0 success, 1 usage error,
+   2 runtime failure (mismatch, oracle violation, uncaught exception —
+   the OCaml runtime itself exits 2 on the latter), 3 completed with
+   quarantined (degraded) points. *)
 let usage () =
   Printf.eprintf
     "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE] \
-     [--verify] [--cases N] [--fuzz-seed N] [--trace FILE] [--metrics FILE]\n"
+     [--verify] [--strict] [--journal FILE] [--loop-budget-ms N] [--cases N] [--fuzz-seed N] \
+     [--trace FILE] [--metrics FILE]\n"
     (String.concat "|" experiments);
   exit 1
 
@@ -39,6 +44,9 @@ let ( selected,
       jobs_flag,
       json_path,
       verify_flag,
+      strict_flag,
+      journal_path,
+      loop_budget_ms,
       fuzz_cases,
       fuzz_seed,
       trace_path,
@@ -46,6 +54,7 @@ let ( selected,
   let selected = ref "all" and sample = ref None and timing = ref true in
   let csv = ref None and jobs = ref None and json = ref None in
   let verify = ref false and cases = ref 200 and seed = ref 0x5EEDL in
+  let strict = ref false and journal = ref None and budget = ref None in
   let trace = ref None and metrics = ref None in
   let rec parse = function
     | [] -> ()
@@ -57,6 +66,17 @@ let ( selected,
         parse rest
     | "--verify" :: rest ->
         verify := true;
+        parse rest
+    | "--strict" :: rest ->
+        strict := true;
+        parse rest
+    | "--journal" :: path :: rest ->
+        journal := Some path;
+        parse rest
+    | "--loop-budget-ms" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> budget := Some v
+        | _ -> usage ());
         parse rest
     | "--trace" :: path :: rest ->
         trace := Some path;
@@ -89,12 +109,24 @@ let ( selected,
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !cases, !seed, !trace,
-    !metrics )
+  ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !strict, !journal, !budget,
+    !cases, !seed, !trace, !metrics )
 
 let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
 
 let () = if verify_flag then Core.Evaluate.set_verify true
+
+let () = if strict_flag then Core.Evaluate.set_strict true
+
+let () = Core.Evaluate.set_loop_budget_ms loop_budget_ms
+
+let () =
+  Option.iter
+    (fun path ->
+      let replayed = Core.Evaluate.attach_journal path in
+      if replayed > 0 then
+        Printf.printf "[journal] resumed %d completed points from %s\n%!" replayed path)
+    journal_path
 
 (* Telemetry turns on before any experiment runs: either output flag
    requests it, and the profile mode needs it regardless. *)
@@ -338,6 +370,10 @@ let run_experiment id =
         "End-to-end validation: %d (loop, config) points simulated cycle-by-cycle, %d mismatches against the reference interpreter.
 "
         !checked !failed;
+      if !failed > 0 then begin
+        Printf.eprintf "endtoend: %d simulation mismatch(es)\n" !failed;
+        exit 2
+      end;
       paper_note
         "Beyond the paper: every schedule is executed on a cycle-level simulator with MVE          register assignment and compared bit-for-bit with sequential semantics."
   | "parspeed" ->
@@ -373,7 +409,7 @@ let run_experiment id =
       Printf.printf "outputs bit-identical across pool sizes: %b\n" identical;
       if not identical then begin
         Printf.eprintf "parspeed: sequential and parallel outputs differ!\n";
-        exit 1
+        exit 2
       end;
       paper_note
         (Printf.sprintf
@@ -476,7 +512,7 @@ let run_experiment id =
       if stats.Wr_check.Fuzz.failures <> [] then begin
         Printf.eprintf "fuzz: %d case(s) violated an oracle\n"
           (List.length stats.Wr_check.Fuzz.failures);
-        exit 1
+        exit 2
       end;
       paper_note
         "Engine check: every case re-verified by the independent invariant oracles \
@@ -676,4 +712,24 @@ let () =
     (fun path ->
       Wr_obs.Obs.write_metrics path;
       Printf.printf "[metrics] wrote %s\n%!" path)
-    metrics_path
+    metrics_path;
+  Core.Evaluate.detach_journal ();
+  (* Quarantine report: every point that degraded to the unpipelined
+     fallback instead of killing the run, named precisely enough to
+     reproduce (suite, loop, machine point).  Exit 3 distinguishes
+     "completed but degraded" from success and from hard failure. *)
+  match Core.Evaluate.quarantined () with
+  | [] -> ()
+  | qs ->
+      Printf.printf "\nQuarantined points (%d): degraded to the unpipelined fallback\n"
+        (List.length qs);
+      Printf.printf "%-10s %6s %-24s %-12s %5s %6s  %s\n" "suite" "index" "loop" "config"
+        "regs" "model" "reason";
+      List.iter
+        (fun (q : Core.Evaluate.quarantine_record) ->
+          Printf.printf "%-10s %6d %-24s %-12s %5d %6d  %s\n" q.Core.Evaluate.q_suite
+            q.Core.Evaluate.q_index q.Core.Evaluate.q_loop q.Core.Evaluate.q_config
+            q.Core.Evaluate.q_registers q.Core.Evaluate.q_cycle_model
+            q.Core.Evaluate.q_reason)
+        qs;
+      exit 3

@@ -27,9 +27,17 @@ let experiment_ids =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "all";
   ]
 
-let run_experiment id sample jobs trace metrics =
+let run_experiment id sample jobs trace metrics strict journal budget =
   Option.iter Wr_util.Pool.set_default_jobs jobs;
   if trace <> None || metrics <> None then Wr_obs.Obs.set_enabled true;
+  if strict then Core.Evaluate.set_strict true;
+  Core.Evaluate.set_loop_budget_ms budget;
+  Option.iter
+    (fun path ->
+      let replayed = Core.Evaluate.attach_journal path in
+      if replayed > 0 then
+        Printf.eprintf "[journal] resumed %d completed points from %s\n%!" replayed path)
+    journal;
   let loops, suite_id = suite_of_sample sample in
   let print = print_string in
   let dispatch = function
@@ -77,7 +85,24 @@ let run_experiment id sample jobs trace metrics =
     (fun path ->
       Wr_obs.Obs.write_metrics path;
       Printf.eprintf "[metrics] wrote %s\n" path)
-    metrics
+    metrics;
+  Core.Evaluate.detach_journal ();
+  (* Completed-with-quarantine is exit 3 (see README "Exit codes"):
+     distinct from success and from hard failure, so CI can tell a
+     degraded sweep from a crashed one. *)
+  match Core.Evaluate.quarantined () with
+  | [] -> ()
+  | qs ->
+      Printf.eprintf "\nQuarantined points (%d): degraded to the unpipelined fallback\n"
+        (List.length qs);
+      List.iter
+        (fun (q : Core.Evaluate.quarantine_record) ->
+          Printf.eprintf "  %s loop %d (%s) on %s regs=%d model=%d: %s\n"
+            q.Core.Evaluate.q_suite q.Core.Evaluate.q_index q.Core.Evaluate.q_loop
+            q.Core.Evaluate.q_config q.Core.Evaluate.q_registers
+            q.Core.Evaluate.q_cycle_model q.Core.Evaluate.q_reason)
+        qs;
+      exit 3
 
 let sample_arg =
   let doc = "Evaluate on a deterministic N-loop subsample of the 1180-loop suite." in
@@ -115,6 +140,37 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let strict_arg =
+  let doc =
+    "Fail fast: a loop evaluation that raises aborts the run instead of degrading the point \
+     to the unpipelined fallback (also the WR_STRICT environment variable)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let journal_arg =
+  let doc =
+    "Journal each completed evaluation point to FILE and, if FILE already holds a previous \
+     (possibly interrupted) run, resume from it: completed points are replayed instead of \
+     recomputed, and the final output is byte-identical to an uninterrupted run."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let budget_arg =
+  let doc =
+    "Wall-clock budget per loop evaluation in milliseconds, enforced cooperatively at \
+     scheduler and spill boundaries; an overrun degrades the point to the unpipelined \
+     fallback and quarantines it."
+  in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg "budget must be a positive integer (milliseconds)")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some positive) None & info [ "loop-budget-ms" ] ~docv:"MS" ~doc)
+
 let experiment_cmd =
   let id =
     let doc = "Experiment id: " ^ String.concat ", " experiment_ids ^ "." in
@@ -123,7 +179,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
-    Term.(const run_experiment $ id $ sample_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run_experiment $ id $ sample_arg $ jobs_arg $ trace_arg $ metrics_arg
+          $ strict_arg $ journal_arg $ budget_arg)
 
 (* --- schedule --------------------------------------------------------- *)
 
@@ -220,9 +277,11 @@ let file_cmd =
     let source = In_channel.with_open_text path In_channel.input_all in
     match Wr_ir.Text_format.parse source with
     | Error e ->
+        (* The file exists but its content is bad: a runtime failure
+           (2), not a usage error (1). *)
         Printf.eprintf "%s: %s
 " path e;
-        exit 1
+        exit 2
     | Ok loops ->
         Printf.printf "%s: %d loop(s)
 " path (List.length loops);
@@ -301,7 +360,7 @@ let check_cmd =
         let source = In_channel.with_open_text target In_channel.input_all in
         match Wr_ir.Text_format.parse source with
         | Ok loops -> loops
-        | Error e -> prerr_endline e; exit 1
+        | Error e -> prerr_endline e; exit 2
       end
       else
         match find_kernel target with
@@ -346,7 +405,7 @@ let check_cmd =
                   (List.length vs)
                   (Wr_check.Oracle.to_string vs))
           loops;
-        if !failed then exit 1
+        if !failed then exit 2
   in
   Cmd.v
     (Cmd.info "check"
@@ -430,7 +489,7 @@ let simulate_cmd =
         | Error msg ->
             Printf.printf "MISMATCH: %s
 " msg;
-            exit 1)
+            exit 2)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -458,7 +517,7 @@ let dot_cmd =
       let source = In_channel.with_open_text kernel In_channel.input_all in
       match Wr_ir.Text_format.parse source with
       | Ok loops -> List.iter (fun l -> print_string (Wr_ir.Dot.of_loop l)) loops
-      | Error e -> prerr_endline e; exit 1
+      | Error e -> prerr_endline e; exit 2
     end
     else
       match find_kernel kernel with
@@ -474,10 +533,19 @@ let () =
     Cmd.info "widening-cli" ~version:"1.0.0"
       ~doc:"Replication vs. widening design-space study (Lopez et al., MICRO 1998)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            experiment_cmd; schedule_cmd; configs_cmd; workload_cmd; dot_cmd; codegen_cmd;
-            simulate_cmd; file_cmd; check_cmd;
-          ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           experiment_cmd; schedule_cmd; configs_cmd; workload_cmd; dot_cmd; codegen_cmd;
+           simulate_cmd; file_cmd; check_cmd;
+         ])
+  in
+  (* Standardized exit codes: cmdliner reports its own parse/usage
+     errors as 124 (and internal errors as 125); fold both into the
+     1 = usage, 2 = runtime-failure convention the other entry points
+     use. *)
+  let code = if code = Cmd.Exit.cli_error then 1
+             else if code = Cmd.Exit.internal_error then 2
+             else code in
+  exit code

@@ -1,0 +1,6 @@
+(* Fault injection belongs to the verification toolkit alongside the
+   oracles and the fuzzer, so it is re-exported here as Wr_check.Fault.
+   The implementation lives in Wr_util.Fault because the injection
+   sites sit in layers (sched, regalloc) that Wr_check depends on and
+   that therefore cannot call back into this library. *)
+include Wr_util.Fault

@@ -48,24 +48,73 @@ let cache_stats = function
    [Wr_check.Oracle.Violation].  Off by default — the oracles run the
    reference interpreter and O(II) re-derivations, so a verified run
    costs a small constant factor over a plain one. *)
-let verify_flag =
-  Atomic.make
-    (match Sys.getenv_opt "WR_VERIFY" with
-    | Some ("1" | "true" | "yes" | "on") -> true
-    | Some ("0" | "false" | "no" | "off" | "") | None -> false
-    | Some bad ->
-        (* A typo like WR_VERIFY=ture must not silently disable the
-           oracles the caller asked for. *)
-        Printf.eprintf
-          "warning: invalid WR_VERIFY value %S (expected 1/true/yes/on or 0/false/no/off); \
-           verification stays off\n\
-           %!"
-          bad;
-        false)
+let verify_flag = Atomic.make (Wr_util.Env.bool "WR_VERIFY" ~default:false)
 
 let set_verify b = Atomic.set verify_flag b
 
 let verify_enabled () = Atomic.get verify_flag
+
+(* Strict mode restores fail-fast: a loop evaluation that raises kills
+   the study instead of degrading to the unpipelined fallback. *)
+let strict_flag = Atomic.make (Wr_util.Env.bool "WR_STRICT" ~default:false)
+
+let set_strict b = Atomic.set strict_flag b
+
+let strict_enabled () = Atomic.get strict_flag
+
+(* Per-loop wall-clock budget in milliseconds; 0 means unbudgeted. *)
+let loop_budget = Atomic.make 0
+
+let set_loop_budget_ms = function
+  | None -> Atomic.set loop_budget 0
+  | Some ms when ms > 0 -> Atomic.set loop_budget ms
+  | Some ms -> invalid_arg (Printf.sprintf "Evaluate.set_loop_budget_ms: %d <= 0" ms)
+
+let loop_budget_ms () = match Atomic.get loop_budget with 0 -> None | ms -> Some ms
+
+type quarantine_record = {
+  q_suite : string;
+  q_index : int;
+  q_loop : string;
+  q_config : string;
+  q_registers : int;
+  q_cycle_model : int;
+  q_reason : string;
+  q_backtrace : string;
+}
+
+let quarantine_mutex = Mutex.create ()
+
+let quarantine_list : quarantine_record list ref = ref []
+
+let quarantine q =
+  Mutex.lock quarantine_mutex;
+  quarantine_list := q :: !quarantine_list;
+  Mutex.unlock quarantine_mutex;
+  if Obs.enabled () then Obs.incr "eval/quarantined"
+
+let quarantined () =
+  Mutex.lock quarantine_mutex;
+  let l = !quarantine_list in
+  Mutex.unlock quarantine_mutex;
+  (* Stable report order regardless of pool completion order. *)
+  List.sort
+    (fun a b ->
+      compare
+        (a.q_suite, a.q_index, a.q_config, a.q_registers, a.q_cycle_model)
+        (b.q_suite, b.q_index, b.q_config, b.q_registers, b.q_cycle_model))
+    l
+
+let quarantined_count () =
+  Mutex.lock quarantine_mutex;
+  let n = List.length !quarantine_list in
+  Mutex.unlock quarantine_mutex;
+  n
+
+let reset_quarantine () =
+  Mutex.lock quarantine_mutex;
+  quarantine_list := [];
+  Mutex.unlock quarantine_mutex
 
 let verified_count = Atomic.make 0
 
@@ -106,6 +155,7 @@ let loop_on_impl (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
      the loop as written, so the initiation interval (and with it the
      register pressure of aggressive machines) is quantized at
      II >= 1 per (wide) iteration. *)
+  Wr_util.Fault.hit "widen";
   let prepared, _stats =
     Obs.span "widen" (fun () -> Wr_widen.Transform.widen loop ~width:c.Config.width)
   in
@@ -238,6 +288,99 @@ let cache_store key agg =
   Hashtbl.replace cache key agg;
   Mutex.unlock cache_mutex
 
+(* Checkpoint/resume.  The journal records exactly the loop-level memo
+   entries — the unit of work worth not repeating — so replay is a bulk
+   load into [loop_cache] and appending happens where the cache is
+   filled.  Only cleanly computed results are journaled: a quarantined
+   point must be re-evaluated on resume, when the fault may be gone. *)
+let journal : Journal.t option ref = ref None
+
+let journal_mutex = Mutex.create ()
+
+let entry_of_result (key : string * int * int * int * int * int) (r : loop_result) =
+  let suite_id, index, buses, width, registers, cycles = key in
+  {
+    Journal.key = { Journal.suite_id; index; buses; width; registers; cycles };
+    ii = r.ii;
+    cycles_bits = Int64.bits_of_float r.cycles;
+    required_regs = r.required_regs;
+    spill_stores = r.spill_stores;
+    spill_loads = r.spill_loads;
+    pipelined = r.pipelined;
+    mii = r.mii;
+    trip_count = r.trip_count;
+  }
+
+let result_of_entry (e : Journal.entry) =
+  {
+    ii = e.Journal.ii;
+    cycles = Int64.float_of_bits e.Journal.cycles_bits;
+    required_regs = e.Journal.required_regs;
+    spill_stores = e.Journal.spill_stores;
+    spill_loads = e.Journal.spill_loads;
+    pipelined = e.Journal.pipelined;
+    mii = e.Journal.mii;
+    trip_count = e.Journal.trip_count;
+  }
+
+let detach_journal () =
+  Mutex.lock journal_mutex;
+  let j = !journal in
+  journal := None;
+  Mutex.unlock journal_mutex;
+  match j with None -> () | Some t -> Journal.close t
+
+let attach_journal path =
+  detach_journal ();
+  let t, entries = Journal.open_for_resume path in
+  Mutex.lock cache_mutex;
+  List.iter
+    (fun (e : Journal.entry) ->
+      let k = e.Journal.key in
+      Hashtbl.replace loop_cache
+        (k.Journal.suite_id, k.Journal.index, k.Journal.buses, k.Journal.width,
+         k.Journal.registers, k.Journal.cycles)
+        (result_of_entry e))
+    entries;
+  Mutex.unlock cache_mutex;
+  Mutex.lock journal_mutex;
+  journal := Some t;
+  Mutex.unlock journal_mutex;
+  List.length entries
+
+let flush_journal () =
+  Mutex.lock journal_mutex;
+  let j = !journal in
+  Mutex.unlock journal_mutex;
+  match j with None -> () | Some t -> Journal.flush t
+
+let journal_append key r =
+  Mutex.lock journal_mutex;
+  let j = !journal in
+  Mutex.unlock journal_mutex;
+  match j with None -> () | Some t -> Journal.append t (entry_of_result key r)
+
+(* Paper-faithful degradation: when an evaluation dies (injected fault,
+   budget overrun, scheduler bug), the point becomes what a real
+   compiler ships when it gives up — the loop compiled without software
+   pipelining.  Computed by pure arithmetic over the UNwidened body (no
+   scheduler call: the degrade path must not be able to fail itself),
+   so it slightly over-costs the fallback relative to the list-schedule
+   span used on the normal Unschedulable path; quarantined points are
+   flagged, never silently mixed in as exact. *)
+let degraded_result ~cycle_model ~registers (loop : Loop.t) =
+  let span = sequential_cost ~cycle_model loop.Loop.ddg in
+  {
+    ii = span;
+    cycles = float_of_int (span * loop.Loop.trip_count) *. loop.Loop.weight;
+    required_regs = registers;
+    spill_stores = 0;
+    spill_loads = 0;
+    pipelined = false;
+    mii = 0;
+    trip_count = loop.Loop.trip_count;
+  }
+
 let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
   let key =
     ( suite_id,
@@ -258,7 +401,43 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
   | None ->
       Atomic.incr loop_misses;
       if Obs.enabled () then Obs.incr "eval/loop_cache_misses";
-      let r = loop_on c ~cycle_model ~registers loop in
+      (* Supervision: the whole widen/schedule/allocate pipeline for
+         this one point runs under the point's fault-injection context
+         and (if set) wall-clock budget.  The context string doubles as
+         the deterministic seed component for Wr_util.Fault, which is
+         why it is the cache key, not the pool task id: the same point
+         draws the same fault stream at any pool size. *)
+      let context =
+        Printf.sprintf "%s|%d|%s|%d|%d" suite_id index (Config.label c) registers
+          (Cycle_model.cycles cycle_model)
+      in
+      let evaluate () =
+        Wr_util.Fault.with_context context (fun () ->
+            match Atomic.get loop_budget with
+            | 0 -> loop_on c ~cycle_model ~registers loop
+            | ms -> Wr_util.Deadline.with_budget_ms ms (fun () -> loop_on c ~cycle_model ~registers loop))
+      in
+      let r, clean =
+        match evaluate () with
+        | r -> (r, true)
+        | exception Out_of_memory ->
+            (* Never absorb resource exhaustion into a data point. *)
+            raise Out_of_memory
+        | exception e when not (strict_enabled ()) ->
+            let bt = Printexc.get_backtrace () in
+            quarantine
+              {
+                q_suite = suite_id;
+                q_index = index;
+                q_loop = loop.Loop.name;
+                q_config = Config.label c;
+                q_registers = registers;
+                q_cycle_model = Cycle_model.cycles cycle_model;
+                q_reason = Printexc.to_string e;
+                q_backtrace = bt;
+              };
+            (degraded_result ~cycle_model ~registers loop, false)
+      in
       Mutex.lock cache_mutex;
       (* First store wins so concurrent callers settle on one physical
          result record. *)
@@ -270,6 +449,7 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
             r
       in
       Mutex.unlock cache_mutex;
+      if clean && stored == r then journal_append key r;
       stored
 
 let suite_on ?pool ~suite_id (c : Config.t) ~cycle_model ~registers loops =

@@ -89,6 +89,76 @@ val verified_points : unit -> int
     since process start — a verified run can report "N points, zero
     violations". *)
 
+(** {2 Supervision}
+
+    A loop evaluation that raises (an injected fault, a cooperative
+    budget overrun, a latent scheduler bug) does not kill the study: by
+    default the point degrades to the paper's "compiler gives up"
+    unpipelined fallback — costed by pure arithmetic over the unwidened
+    body, so the degrade path itself cannot fail — and a quarantine
+    record is kept for the end-of-run report.  [Out_of_memory] is never
+    absorbed.  Strict mode ([WR_STRICT], or [--strict] in the drivers)
+    restores fail-fast. *)
+
+val set_strict : bool -> unit
+(** Toggle fail-fast.  Initialized from the [WR_STRICT] environment
+    variable. *)
+
+val strict_enabled : unit -> bool
+
+val set_loop_budget_ms : int option -> unit
+(** Wall-clock budget per loop evaluation, enforced cooperatively at
+    II-escalation, scheduler-attempt, and spill-round boundaries (see
+    {!Wr_util.Deadline}); an overrun degrades the point through the
+    quarantine path.  [None] (the default) disables the budget; raises
+    [Invalid_argument] on a non-positive budget. *)
+
+val loop_budget_ms : unit -> int option
+
+type quarantine_record = {
+  q_suite : string;
+  q_index : int;  (** loop index within the suite *)
+  q_loop : string;  (** loop name *)
+  q_config : string;  (** [Config.label] of the machine point *)
+  q_registers : int;
+  q_cycle_model : int;  (** cycle-model cycles *)
+  q_reason : string;  (** the exception, printed *)
+  q_backtrace : string;  (** backtrace, when recording is enabled *)
+}
+
+val quarantined : unit -> quarantine_record list
+(** Every degraded point since the last {!reset_quarantine}, in a
+    stable (suite, index, config, registers, model) order regardless of
+    pool completion order.  Thread-safe. *)
+
+val quarantined_count : unit -> int
+
+val reset_quarantine : unit -> unit
+
+(** {2 Checkpoint/resume}
+
+    The journal (see {!Journal}) records each cleanly completed
+    loop-level point; attaching one replays its intact prefix into the
+    loop cache, so a re-run after a crash recomputes only the missing
+    points and — floats round-tripping through their bit patterns —
+    produces output byte-identical to an uninterrupted run.
+    Quarantined points are deliberately not journaled: a resume retries
+    them. *)
+
+val attach_journal : string -> int
+(** Open (creating if absent) a journal at the given path, replay its
+    intact prefix into the loop cache, and append every subsequent
+    clean evaluation to it.  Returns the number of points replayed.
+    Detaches any previously attached journal first.  Note that
+    {!clear_cache} drops replayed entries like any others; attach after
+    clearing. *)
+
+val detach_journal : unit -> unit
+(** Flush, close, and stop journaling.  No-op when none is attached. *)
+
+val flush_journal : unit -> unit
+(** Force buffered journal records to disk (also done on detach). *)
+
 type aggregate = {
   total_cycles : float;  (** weighted cycles over all loops *)
   loops : int;

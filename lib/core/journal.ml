@@ -1,0 +1,209 @@
+type key = {
+  suite_id : string;
+  index : int;
+  buses : int;
+  width : int;
+  registers : int;
+  cycles : int;
+}
+
+type entry = {
+  key : key;
+  ii : int;
+  cycles_bits : int64;
+  required_regs : int;
+  spill_stores : int;
+  spill_loads : int;
+  pipelined : bool;
+  mii : int;
+  trip_count : int;
+}
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable pending : int;
+  mutable closed : bool;
+  mutex : Mutex.t;
+}
+
+let batch_records = 64
+
+(* FNV-1a, matching Wr_util.Fault's string hash; cheap and has no
+   dependency on any checksum library. *)
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+(* Suite ids are caller-chosen strings; percent-encode anything that
+   would collide with the space-separated record format. *)
+let encode_id s =
+  let plain = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | '/' -> true
+    | _ -> false
+  in
+  if String.for_all plain s then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        if plain ch then Buffer.add_char b ch
+        else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code ch)))
+      s;
+    Buffer.contents b
+  end
+
+let decode_id s =
+  if not (String.contains s '%') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then begin
+         Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+         i := !i + 3
+       end
+       else begin
+         Buffer.add_char b s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents b
+  end
+
+let payload_of_entry e =
+  let k = e.key in
+  Printf.sprintf "wrj1 %s %d %d %d %d %d %d %Lx %d %d %d %d %d %d" (encode_id k.suite_id)
+    k.index k.buses k.width k.registers k.cycles e.ii e.cycles_bits e.required_regs
+    e.spill_stores e.spill_loads
+    (if e.pipelined then 1 else 0)
+    e.mii e.trip_count
+
+let line_of_entry e =
+  let payload = payload_of_entry e in
+  Printf.sprintf "%s %Lx\n" payload (fnv1a64 payload)
+
+(* A line parses iff it has exactly the expected shape AND its checksum
+   matches the stored payload; anything else marks the torn tail. *)
+let entry_of_line line =
+  match String.split_on_char ' ' line with
+  | [
+   "wrj1"; sid; index; buses; width; registers; cycles; ii; bits; required; stores; loads;
+   pipelined; mii; trip; crc;
+  ] -> (
+      let payload = String.sub line 0 (String.length line - String.length crc - 1) in
+      let sum = Printf.sprintf "%Lx" (fnv1a64 payload) in
+      if not (String.equal sum crc) then None
+      else
+        try
+          let int s = int_of_string s in
+          Some
+            {
+              key =
+                {
+                  suite_id = decode_id sid;
+                  index = int index;
+                  buses = int buses;
+                  width = int width;
+                  registers = int registers;
+                  cycles = int cycles;
+                };
+              ii = int ii;
+              cycles_bits = Int64.of_string ("0x" ^ bits);
+              required_regs = int required;
+              spill_stores = int stores;
+              spill_loads = int loads;
+              pipelined = (match pipelined with "1" -> true | "0" -> false | _ -> raise Exit);
+              mii = int mii;
+              trip_count = int trip;
+            }
+        with _ -> None)
+  | _ -> None
+
+(* Scan the file for its intact prefix: newline-terminated lines whose
+   checksums verify, stopping at the first failure.  Returns the entries
+   and the byte length of the prefix. *)
+let read_prefix path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let n = String.length contents in
+  let entries = ref [] in
+  let ok = ref 0 in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       match String.index_from_opt contents !pos '\n' with
+       | None -> raise Exit (* torn final line: no newline yet *)
+       | Some nl -> (
+           let line = String.sub contents !pos (nl - !pos) in
+           match entry_of_line line with
+           | None -> raise Exit
+           | Some e ->
+               entries := e :: !entries;
+               pos := nl + 1;
+               ok := !pos)
+     done
+   with Exit -> ());
+  (List.rev !entries, !ok)
+
+let open_for_resume path =
+  let entries, valid_len =
+    if Sys.file_exists path then read_prefix path else ([], 0)
+  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (* Drop the torn tail so appended records start on a clean boundary. *)
+  Unix.ftruncate fd valid_len;
+  ignore (Unix.lseek fd valid_len Unix.SEEK_SET);
+  let t =
+    { path; fd; buf = Buffer.create 4096; pending = 0; closed = false; mutex = Mutex.create () }
+  in
+  (t, entries)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let flush_locked t =
+  if Buffer.length t.buf > 0 then begin
+    write_all t.fd (Buffer.contents t.buf);
+    Buffer.clear t.buf;
+    t.pending <- 0;
+    Unix.fsync t.fd
+  end
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let append t e =
+  locked t (fun () ->
+      if t.closed then invalid_arg "Journal.append: journal is closed";
+      Buffer.add_string t.buf (line_of_entry e);
+      t.pending <- t.pending + 1;
+      if t.pending >= batch_records then flush_locked t)
+
+let flush t = locked t (fun () -> if not t.closed then flush_locked t)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        flush_locked t;
+        t.closed <- true;
+        Unix.close t.fd
+      end)
+
+let path t = t.path

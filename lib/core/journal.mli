@@ -1,0 +1,65 @@
+(** Append-only evaluation journal: checkpoint/resume for long sweeps.
+
+    One record per completed (suite, loop index, machine point)
+    evaluation, written as a single self-checking text line.  On
+    restart {!open_for_resume} replays every intact record into the
+    caller's cache and positions the file for appending, so an
+    interrupted study resumes where it died and — because the [cycles]
+    float is stored as its IEEE-754 bit pattern — reproduces the
+    uninterrupted run's output byte for byte.
+
+    {2 Crash safety}
+
+    The format is a log, never rewritten: a crash (or [kill -9]) can
+    only damage the {e tail} of the file, and only the records since
+    the last fsync batch can be lost entirely.  Each line carries an
+    FNV-1a checksum over its payload and must be newline-terminated;
+    replay stops at the first line that fails either test and
+    truncates the file there, so a torn final write costs exactly the
+    points it described — they are simply re-evaluated.  Appends are
+    buffered and fsynced every {!batch_records} records (and on
+    {!flush}/{!close}), batching the sync cost across the pool's
+    completion rate. *)
+
+type key = {
+  suite_id : string;
+  index : int;
+  buses : int;
+  width : int;
+  registers : int;
+  cycles : int;  (** cycle-model cycles, the last component of the memo key *)
+}
+
+type entry = {
+  key : key;
+  ii : int;
+  cycles_bits : int64;  (** [Int64.bits_of_float] of the weighted cycles *)
+  required_regs : int;
+  spill_stores : int;
+  spill_loads : int;
+  pipelined : bool;
+  mii : int;
+  trip_count : int;
+}
+
+type t
+
+val batch_records : int
+(** Records buffered between fsyncs (bounds what a crash can lose). *)
+
+val open_for_resume : string -> t * entry list
+(** Open (creating if absent) a journal for appending and return the
+    entries of its intact prefix, in file order.  A corrupt or torn
+    tail is discarded and truncated away before the first append. *)
+
+val append : t -> entry -> unit
+(** Buffer one record; thread-safe.  Raises [Invalid_argument] if the
+    journal is closed. *)
+
+val flush : t -> unit
+(** Write out and fsync any buffered records. *)
+
+val close : t -> unit
+(** {!flush}, then close the file.  Idempotent. *)
+
+val path : t -> string

@@ -15,7 +15,17 @@ let run ?(registers = [ 32; 64; 128; 256 ]) ?(suite_id = "suite") loops =
   let baseline_cfg = Config.xwy ~registers:256 ~x:1 ~y:1 () in
   let base = Evaluate.suite_on ~suite_id baseline_cfg ~cycle_model ~registers:256 loops in
   if base.Evaluate.unpipelined > 0 then
-    failwith "Spill_study: baseline 1w1/256 must pipeline every loop";
+    if Evaluate.quarantined_count () = 0 then
+      failwith "Spill_study: baseline 1w1/256 must pipeline every loop"
+    else
+      (* Under supervision a quarantined baseline point is expected: the
+         study completes and reports the degraded points instead of
+         aborting. *)
+      Printf.eprintf
+        "warning: spill study baseline 1w1/256 has %d degraded (quarantined) loops; speedups \
+         are computed against the degraded baseline\n\
+         %!"
+        base.Evaluate.unpipelined;
   (* Grid rows are independent; each cell's suite evaluation fans out
      over loops on the same pool (nested maps are safe). *)
   Wr_util.Pool.parallel_list_map grid ~f:(fun (x, y) ->

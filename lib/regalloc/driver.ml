@@ -17,9 +17,14 @@ type outcome = Scheduled of success | Unschedulable of string
 
 type policy = Combined | Spill_only | Escalate_only
 
-(* One schedule-and-allocate probe. *)
+(* One schedule-and-allocate probe.  The Fault.hit sites are inert
+   unless WR_FAULT is configured and an evaluation context is in scope
+   (see Wr_util.Fault); they exist so the resilience tests can prove
+   that a crash here degrades one point instead of killing a study. *)
 let probe resource ~cycle_model ~min_ii g =
+  Wr_util.Fault.hit "sched";
   let result = Modulo.run resource ~cycle_model ~min_ii g in
+  Wr_util.Fault.hit "alloc";
   let lifetimes, alloc =
     Obs.span "alloc" (fun () ->
         let lifetimes = Lifetime.of_schedule g result.Modulo.schedule in
@@ -37,24 +42,30 @@ let probe resource ~cycle_model ~min_ii g =
 let escalate resource ~cycle_model ~registers ~lo ~cap g =
   Obs.span "driver/escalate" @@ fun () ->
   let fits_at ii =
+    Wr_util.Deadline.check ();
     let result, _, alloc = probe resource ~cycle_model ~min_ii:ii g in
     if Alloc.fits alloc ~available:registers then Some (result, alloc) else None
   in
   match fits_at cap with
   | None -> None
   | Some best ->
-      let best = ref best and best_ii = ref cap in
+      (* Binary-search window is [lo+1, cap]: the caller only reaches
+         here after probing at lo (the MII-anchored first schedule) and
+         finding it does not fit, so lo itself is known-failed and the
+         smallest candidate worth probing is lo+1.  The probe at cap
+         above anchors the other end: fits_at is monotone in II (more
+         slack, fewer overlapped lifetimes), so a fit at cap guarantees
+         the search converges on the smallest fitting II. *)
+      let best = ref best in
       let lo = ref (lo + 1) and hi = ref cap in
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in
         match fits_at mid with
         | Some r ->
             best := r;
-            best_ii := mid;
             hi := mid
         | None -> lo := mid + 1
       done;
-      ignore !best_ii;
       Some !best
 
 (* Lever 2: spill.  Store pressure-heavy values and reload them before
@@ -65,6 +76,9 @@ let spill_loop resource ~cycle_model ~registers ~max_rounds g =
   let spilled_ever = Hashtbl.create 16 in
   let reload_regs = Hashtbl.create 16 in
   let rec iterate g round stores loads prev_required stall =
+    (* Spill-round boundary: a budgeted loop bails out between rounds,
+       never mid-reschedule. *)
+    Wr_util.Deadline.check ();
     let result, lifetimes, alloc = probe resource ~cycle_model ~min_ii:1 g in
     if Alloc.fits alloc ~available:registers then begin
       if Obs.enabled () then Obs.observe "spill/rounds_to_fit" round;
@@ -83,6 +97,7 @@ let spill_loop resource ~cycle_model ~registers ~max_rounds g =
         with
         | None -> None
         | Some plan ->
+            Wr_util.Fault.hit "spill";
             let spill = Spill.apply g ~vregs:plan.Spill.vregs in
             List.iter (fun r -> Hashtbl.replace spilled_ever r ()) plan.Spill.vregs;
             List.iter (fun r -> Hashtbl.replace reload_regs r ()) spill.Spill.reload_vregs;

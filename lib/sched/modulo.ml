@@ -15,6 +15,11 @@ type result = {
 
 let empty_schedule ~cycle_model = Schedule.make ~ii:1 ~times:[||] ~cycle_model
 
+(* WR_SCHED_DEBUG follows the same warn-once-on-invalid discipline as
+   WR_JOBS / WR_VERIFY (Wr_util.Env); forced lazily so a process that
+   never schedules pays nothing and the warning lands at most once. *)
+let sched_debug = lazy (Wr_util.Env.bool "WR_SCHED_DEBUG" ~default:false)
+
 (* height(v): longest weighted path out of v at the given II; the
    classic IMS priority.  Weights [delay - II * distance] admit no
    positive cycle once II >= RecMII, so upward value iteration from
@@ -259,7 +264,7 @@ let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~orderin
       failwith "Modulo.force: could not place after full eviction";
     evict_violated_succs op t
   in
-  let debug = Sys.getenv_opt "WR_SCHED_DEBUG" <> None in
+  let debug = Lazy.force sched_debug in
   let per_op = if debug then Array.make n 0 else [||] in
   let ok = ref true in
   while !ok && !num_scheduled < n do
@@ -346,6 +351,9 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
     let s = make_scratch resource ~cycle_model g in
     let total_placements = ref 0 in
     let rec loop ii =
+      (* II-escalation boundary: a budgeted evaluation gives up here,
+         between self-contained attempts. *)
+      Wr_util.Deadline.check ();
       if ii > max_ii then
         failwith
           (Printf.sprintf "Modulo.run: no schedule found up to II=%d (%d ops)" max_ii n)

@@ -188,6 +188,10 @@ let min_ii resource ~cycle_model ?max_nodes g =
   let n = Ddg.num_ops g in
   let scratch = Array.make_matrix n n neg_inf in
   let rec go ii attempts_left =
+    (* Scheduler-attempt boundary: each at_ii call is already bounded
+       by max_nodes, so a wall-clock budget only needs to fire between
+       attempts. *)
+    Wr_util.Deadline.check ();
     if attempts_left = 0 then None
     else
       match at_ii resource ~cycle_model ~ii ?max_nodes ~scratch g with

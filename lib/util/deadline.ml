@@ -1,0 +1,31 @@
+module Obs = Wr_obs.Obs
+
+exception Expired
+
+let () =
+  Printexc.register_printer (function
+    | Expired -> Some "Wr_util.Deadline.Expired (loop wall-clock budget exceeded)"
+    | _ -> None)
+
+(* Fast path: processes that never install a budget pay one atomic
+   load per check, not a DLS lookup. *)
+let any_budget = Atomic.make false
+
+(* 0 = no deadline; otherwise an absolute Obs.now_ns timestamp. *)
+let deadline_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let with_budget_ms ms f =
+  Atomic.set any_budget true;
+  let slot = Domain.DLS.get deadline_key in
+  let saved = !slot in
+  let dl = Obs.now_ns () + (ms * 1_000_000) in
+  slot := (if saved <> 0 then Stdlib.min saved dl else dl);
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let active () = Atomic.get any_budget && !(Domain.DLS.get deadline_key) <> 0
+
+let check () =
+  if Atomic.get any_budget then begin
+    let dl = !(Domain.DLS.get deadline_key) in
+    if dl <> 0 && Obs.now_ns () > dl then raise Expired
+  end

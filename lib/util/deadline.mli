@@ -1,0 +1,27 @@
+(** Cooperative per-task wall-clock deadlines.
+
+    A deadline is domain-local state checked voluntarily at safe
+    boundaries (II escalation, scheduler attempts, spill rounds) using
+    the noalloc monotonic clock — no signals, no domain kills, so a
+    task is only ever interrupted between self-contained steps and
+    shared state (memo caches, reservation tables) stays consistent.
+    The evaluation engine installs one deadline per loop evaluation
+    ([--loop-budget-ms]); an overrun raises {!Expired}, which the
+    supervision layer degrades to the unpipelined-fallback result.
+
+    With no deadline ever installed, {!check} is one atomic load. *)
+
+exception Expired
+(** Raised by {!check} when the calling domain's deadline has passed. *)
+
+val with_budget_ms : int -> (unit -> 'a) -> 'a
+(** Run the thunk with a deadline of now + the given milliseconds.
+    Nested budgets keep the tighter deadline; the previous deadline is
+    restored on exit. *)
+
+val check : unit -> unit
+(** Raise {!Expired} if the calling domain has a deadline and the
+    monotonic clock has passed it; otherwise a no-op. *)
+
+val active : unit -> bool
+(** Whether the calling domain currently has a deadline installed. *)

@@ -23,8 +23,6 @@ let parse_jobs s =
 (* A bad WR_JOBS must not be silently swallowed (a typo like
    WR_JOBS=-4 or WR_JOBS=four would otherwise quietly run at the core
    count); warn once, naming both the bad value and the default used. *)
-let warned_bad_jobs = ref false
-
 let default_jobs () =
   match Sys.getenv_opt "WR_JOBS" with
   | None -> Domain.recommended_domain_count ()
@@ -33,14 +31,8 @@ let default_jobs () =
       | Some n -> n
       | None ->
           let d = Domain.recommended_domain_count () in
-          if not !warned_bad_jobs then begin
-            warned_bad_jobs := true;
-            Printf.eprintf
-              "warning: invalid WR_JOBS value %S (expected a positive integer); using the \
-               default of %d\n\
-               %!"
-              s d
-          end;
+          Env.warn_invalid ~name:"WR_JOBS" ~value:s ~expected:"a positive integer"
+            ~default:(Printf.sprintf "the default of %d" d);
           d)
 
 let jobs t = t.jobs
@@ -198,24 +190,53 @@ let set_default_jobs j =
 
 (* --- batches ----------------------------------------------------------- *)
 
+exception Batch_failure of (int * exn * Printexc.raw_backtrace) list
+
+let () =
+  Printexc.register_printer (function
+    | Batch_failure fails ->
+        Some
+          (Printf.sprintf "Wr_util.Pool.Batch_failure: %d item(s) failed: %s"
+             (List.length fails)
+             (String.concat "; "
+                (List.map
+                   (fun (i, e, _) -> Printf.sprintf "[%d] %s" i (Printexc.to_string e))
+                   fails)))
+    | _ -> None)
+
 type batch = {
   b_mutex : Mutex.t;
   b_done : Condition.t;
   mutable unfinished : int;
-  mutable error : (exn * Printexc.raw_backtrace) option;
+  mutable failures : (int * exn * Printexc.raw_backtrace) list;
 }
 
-let finish_one batch err =
+let finish_one batch fails =
   Mutex.lock batch.b_mutex;
-  (match (err, batch.error) with Some _, None -> batch.error <- err | _ -> ());
+  batch.failures <- List.rev_append fails batch.failures;
   batch.unfinished <- batch.unfinished - 1;
   if batch.unfinished = 0 then Condition.broadcast batch.b_done;
   Mutex.unlock batch.b_mutex
 
-let guarded batch f () =
-  match f () with
-  | () -> finish_one batch None
-  | exception e -> finish_one batch (Some (e, Printexc.get_raw_backtrace ()))
+(* Apply [f] to every item of [lo, lo+len); a failing item is recorded
+   with its input index and the rest of the chunk still runs, so one
+   bad point cannot shadow failures (or discard results) behind it. *)
+let run_items arr ~f out ~lo ~len =
+  let fails = ref [] in
+  for i = lo to lo + len - 1 do
+    match f arr.(i) with
+    | v -> out.(i) <- Some v
+    | exception e -> fails := (i, e, Printexc.get_raw_backtrace ()) :: !fails
+  done;
+  !fails
+
+let guarded batch arr ~f out ~lo ~len () =
+  match run_items arr ~f out ~lo ~len with
+  | fails -> finish_one batch fails
+  | exception e ->
+      (* run_items only raises on an asynchronous exception; never leave
+         the batch hanging. *)
+      finish_one batch [ (lo, e, Printexc.get_raw_backtrace ()) ]
 
 (* Run queued tasks until the batch completes, then sleep for stragglers
    still executing in other domains. *)
@@ -245,43 +266,54 @@ let help_until_done t batch =
   in
   drain ()
 
+(* Raise if any item failed, sorted by input index so the report (and
+   any test asserting on it) is deterministic for every pool size. *)
+let raise_failures = function
+  | [] -> ()
+  | fails ->
+      raise
+        (Batch_failure (List.sort (fun (a, _, _) (b, _, _) -> compare a b) fails))
+
+let collect out =
+  Array.map
+    (function Some v -> v | None -> failwith "Pool.parallel_map: missing item result")
+    out
+
 let parallel_map ?pool arr ~f =
   let n = Array.length arr in
   if n = 0 then [||]
   else
     let t = match pool with Some p -> p | None -> default () in
-    if t.jobs = 1 || n = 1 then Array.map f arr
+    if t.jobs = 1 || n = 1 then begin
+      (* Sequential path, same contract as the parallel one: every item
+         is attempted and all failures are reported together, so jobs=1
+         and jobs=N are behaviourally identical. *)
+      let out = Array.make n None in
+      raise_failures (run_items arr ~f out ~lo:0 ~len:n);
+      collect out
+    end
     else begin
       (* Several chunks per worker so an unlucky chunk of hard loops
          doesn't serialize the tail of the batch. *)
       let chunk_size = Stdlib.max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs)) in
       let nchunks = (n + chunk_size - 1) / chunk_size in
-      let out = Array.make nchunks None in
+      let out = Array.make n None in
       let batch =
         {
           b_mutex = Mutex.create ();
           b_done = Condition.create ();
           unfinished = nchunks;
-          error = None;
+          failures = [];
         }
       in
       for c = 0 to nchunks - 1 do
         let lo = c * chunk_size in
         let len = Stdlib.min chunk_size (n - lo) in
-        submit t
-          (guarded batch (fun () -> out.(c) <- Some (Array.init len (fun i -> f arr.(lo + i)))))
+        submit t (guarded batch arr ~f out ~lo ~len)
       done;
       help_until_done t batch;
-      (match batch.error with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ());
-      Array.concat
-        (Array.to_list
-           (Array.map
-              (function
-                | Some chunk -> chunk
-                | None -> failwith "Pool.parallel_map: missing chunk result")
-              out))
+      raise_failures batch.failures;
+      collect out
     end
 
 let parallel_list_map ?pool l ~f =

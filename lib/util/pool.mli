@@ -30,9 +30,12 @@
 
     {2 Exceptions}
 
-    If [f] raises, the first exception (in completion order) is
-    re-raised in the calling domain with its original backtrace after
-    the whole batch has drained; the other chunks still run.
+    If [f] raises on any item, every item is still attempted, the
+    whole batch drains, and {!Batch_failure} is raised in the calling
+    domain carrying {e all} failures with their input indices (sorted
+    by index, so the report is identical for any pool size — the
+    sequential [jobs = 1] path follows the same contract).  The pool
+    itself is unaffected and stays usable for subsequent batches.
 
     {2 Telemetry}
 
@@ -43,6 +46,11 @@
     (the default), each hook is a single atomic-load branch. *)
 
 type t
+
+exception Batch_failure of (int * exn * Printexc.raw_backtrace) list
+(** Raised by {!parallel_map} / {!parallel_list_map} when one or more
+    applications of [f] raised: every failure in the batch, tagged with
+    the index of the input item that caused it, sorted by index. *)
 
 val default_jobs : unit -> int
 (** [WR_JOBS] if set to a positive integer, else

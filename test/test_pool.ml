@@ -53,14 +53,55 @@ let test_exception_propagation () =
           (Array.init 100 (fun i -> i))
           ~f:(fun i -> if i = 63 then raise (Boom i) else i)
       with
-      | _ -> Alcotest.fail "expected Boom"
-      | exception Boom 63 -> ())
+      | _ -> Alcotest.fail "expected Batch_failure"
+      | exception Pool.Batch_failure [ (63, Boom 63, _) ] -> ()
+      | exception Pool.Batch_failure l ->
+          Alcotest.failf "wrong failure list (%d entries)" (List.length l))
+
+let test_all_failures_recorded () =
+  (* Every failing item is reported — not just the first —
+     with its input index, sorted ascending. *)
+  with_pool 4 (fun pool ->
+      match
+        Pool.parallel_map ~pool
+          (Array.init 100 (fun i -> i))
+          ~f:(fun i -> if i mod 10 = 3 then raise (Boom i) else i)
+      with
+      | _ -> Alcotest.fail "expected Batch_failure"
+      | exception Pool.Batch_failure failures ->
+          let indices = List.map (fun (i, _, _) -> i) failures in
+          Alcotest.(check (list int)) "all failing indices, sorted"
+            [ 3; 13; 23; 33; 43; 53; 63; 73; 83; 93 ]
+            indices;
+          List.iter
+            (fun (i, e, _) ->
+              match e with
+              | Boom j when j = i -> ()
+              | e -> Alcotest.failf "index %d carries %s" i (Printexc.to_string e))
+            failures)
+
+let test_failures_match_sequential () =
+  (* jobs=1 and jobs=N agree on the failure report, same as they agree
+     on results. *)
+  let run jobs =
+    with_pool jobs (fun pool ->
+        match
+          Pool.parallel_map ~pool
+            (Array.init 40 (fun i -> i))
+            ~f:(fun i -> if i mod 7 = 0 then raise (Boom i) else i)
+        with
+        | _ -> Alcotest.fail "expected Batch_failure"
+        | exception Pool.Batch_failure failures ->
+            List.map (fun (i, e, _) -> (i, Printexc.to_string e)) failures)
+  in
+  Alcotest.(check (list (pair int string))) "jobs=1 = jobs=4" (run 1) (run 4)
 
 let test_exception_leaves_pool_usable () =
   with_pool 4 (fun pool ->
       (match Pool.parallel_map ~pool [| 0; 1; 2 |] ~f:(fun _ -> failwith "boom") with
-      | _ -> Alcotest.fail "expected Failure"
-      | exception Failure _ -> ());
+      | _ -> Alcotest.fail "expected Batch_failure"
+      | exception Pool.Batch_failure failures ->
+          Alcotest.(check int) "all three failures recorded" 3 (List.length failures));
       let out = Pool.parallel_map ~pool (Array.init 50 (fun i -> i)) ~f:(fun i -> 2 * i) in
       Alcotest.(check bool) "pool still works" true (out = Array.init 50 (fun i -> 2 * i)))
 
@@ -161,6 +202,9 @@ let () =
       ( "exceptions",
         [
           Alcotest.test_case "propagates" `Quick test_exception_propagation;
+          Alcotest.test_case "all failures recorded" `Quick test_all_failures_recorded;
+          Alcotest.test_case "failure report deterministic" `Quick
+            test_failures_match_sequential;
           Alcotest.test_case "pool survives" `Quick test_exception_leaves_pool_usable;
         ] );
       ("nesting", [ Alcotest.test_case "nested maps" `Quick test_nested_maps ]);

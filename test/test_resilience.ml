@@ -1,0 +1,227 @@
+(* Resilience layer: supervised evaluation (quarantine + degraded
+   fallback), deterministic fault injection, cooperative budgets, and
+   the journaled checkpoint/resume path. *)
+
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Evaluate = Core.Evaluate
+module Fault = Wr_util.Fault
+module Pool = Wr_util.Pool
+
+let cm = Cycle_model.Cycles_4
+
+let cfg = Config.xwy ~registers:64 ~x:2 ~y:2 ()
+
+let loops = Wr_workload.Suite.sample 6
+
+(* Each test starts from a clean slate and leaves one behind: the
+   supervision knobs are process-global. *)
+let fresh () =
+  Fault.configure [];
+  Evaluate.set_strict false;
+  Evaluate.set_loop_budget_ms None;
+  Evaluate.detach_journal ();
+  Evaluate.reset_quarantine ();
+  Evaluate.clear_cache ()
+
+let with_clean_state f = fresh (); Fun.protect ~finally:fresh f
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let raise_all_spec = { Fault.site = "widen"; prob = 1.0; seed = 0xFA17L; action = Fault.Raise }
+
+let test_injection_degrades_not_kills () =
+  with_clean_state @@ fun () ->
+  Fault.configure [ raise_all_spec ];
+  with_pool 2 @@ fun pool ->
+  let agg = Evaluate.suite_on ~pool ~suite_id:"res-degrade" cfg ~cycle_model:cm ~registers:64 loops in
+  Alcotest.(check int) "every loop degraded" (Array.length loops) agg.Evaluate.unpipelined;
+  Alcotest.(check int) "every point quarantined" (Array.length loops)
+    (Evaluate.quarantined_count ());
+  List.iter
+    (fun (q : Evaluate.quarantine_record) ->
+      Alcotest.(check string) "suite named" "res-degrade" q.Evaluate.q_suite;
+      Alcotest.(check bool) "reason names the injection" true
+        (String.length q.Evaluate.q_reason > 0))
+    (Evaluate.quarantined ())
+
+let test_no_context_no_injection () =
+  with_clean_state @@ fun () ->
+  Fault.configure [ raise_all_spec ];
+  (* Direct loop_on runs outside any evaluation context: a stray
+     WR_FAULT must not perturb CLI scheduling or unit tests. *)
+  let r = Evaluate.loop_on cfg ~cycle_model:cm ~registers:64 loops.(0) in
+  Alcotest.(check bool) "pipelined normally" true r.Evaluate.pipelined
+
+let quarantined_indices () =
+  List.map (fun (q : Evaluate.quarantine_record) -> q.Evaluate.q_index)
+    (Evaluate.quarantined ())
+
+let test_injection_deterministic_across_jobs () =
+  with_clean_state @@ fun () ->
+  Fault.configure [ { Fault.site = "sched"; prob = 0.4; seed = 0x5EEDL; action = Fault.Raise } ];
+  let run jobs =
+    Evaluate.clear_cache ();
+    Evaluate.reset_quarantine ();
+    with_pool jobs @@ fun pool ->
+    let agg =
+      Evaluate.suite_on ~pool ~suite_id:"res-det" cfg ~cycle_model:cm ~registers:64
+        (Wr_workload.Suite.sample 12)
+    in
+    (agg, quarantined_indices ())
+  in
+  let agg1, q1 = run 1 in
+  let agg4, q4 = run 4 in
+  Alcotest.(check bool) "some but not all points faulted" true
+    (q1 <> [] && List.length q1 < 12);
+  Alcotest.(check (list int)) "same quarantined points at any pool size" q1 q4;
+  Alcotest.(check bool) "bit-identical aggregate" true (agg1 = agg4)
+
+let test_strict_mode_fails_fast () =
+  with_clean_state @@ fun () ->
+  Fault.configure [ raise_all_spec ];
+  Evaluate.set_strict true;
+  with_pool 2 @@ fun pool ->
+  (match
+     Evaluate.suite_on ~pool ~suite_id:"res-strict" cfg ~cycle_model:cm ~registers:64 loops
+   with
+  | _ -> Alcotest.fail "expected Batch_failure"
+  | exception Pool.Batch_failure failures ->
+      Alcotest.(check bool) "failures carry the injection" true
+        (List.exists (fun (_, e, _) -> match e with Fault.Injected _ -> true | _ -> false)
+           failures));
+  Alcotest.(check int) "nothing quarantined in strict mode" 0 (Evaluate.quarantined_count ())
+
+let test_budget_overrun_degrades () =
+  with_clean_state @@ fun () ->
+  (* A deterministic overrun: the widen-site fault spins 50ms, then the
+     first cooperative check (II-escalation boundary) trips the 1ms
+     budget.  No reliance on the scheduler actually being slow. *)
+  Fault.configure
+    [ { Fault.site = "widen"; prob = 1.0; seed = 1L; action = Fault.Delay_ms 50 } ];
+  Evaluate.set_loop_budget_ms (Some 1);
+  with_pool 2 @@ fun pool ->
+  let small = Wr_workload.Suite.sample 3 in
+  let agg = Evaluate.suite_on ~pool ~suite_id:"res-budget" cfg ~cycle_model:cm ~registers:64 small in
+  Alcotest.(check int) "every loop degraded" (Array.length small) agg.Evaluate.unpipelined;
+  Alcotest.(check int) "every point quarantined" (Array.length small)
+    (Evaluate.quarantined_count ())
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let with_tmp_journal f =
+  let path = Filename.temp_file "wrj-test" ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_clean_state @@ fun () ->
+  with_tmp_journal @@ fun path ->
+  with_pool 2 @@ fun pool ->
+  let replayed0 = Evaluate.attach_journal path in
+  Alcotest.(check int) "fresh journal replays nothing" 0 replayed0;
+  let agg1 = Evaluate.suite_on ~pool ~suite_id:"res-journal" cfg ~cycle_model:cm ~registers:64 loops in
+  Evaluate.detach_journal ();
+  let evals = Evaluate.evaluations () in
+  (* Cold cache + journal: every point must come back from the replay,
+     with the scheduler never invoked. *)
+  Evaluate.clear_cache ();
+  let replayed = Evaluate.attach_journal path in
+  Alcotest.(check int) "all points replayed" (Array.length loops) replayed;
+  let agg2 = Evaluate.suite_on ~pool ~suite_id:"res-journal" cfg ~cycle_model:cm ~registers:64 loops in
+  Evaluate.detach_journal ();
+  Alcotest.(check int) "no re-evaluation after replay" evals (Evaluate.evaluations ());
+  Alcotest.(check bool) "bit-identical aggregate from replay" true (agg1 = agg2)
+
+let test_journal_torn_tail () =
+  with_clean_state @@ fun () ->
+  with_tmp_journal @@ fun path ->
+  with_pool 2 @@ fun pool ->
+  ignore (Evaluate.attach_journal path);
+  let agg1 = Evaluate.suite_on ~pool ~suite_id:"res-torn" cfg ~cycle_model:cm ~registers:64 loops in
+  Evaluate.detach_journal ();
+  let intact = read_file path in
+  (* Simulate a crash mid-write: chop the last record in half.  Replay
+     must keep the intact prefix, drop the torn line, and recompute
+     exactly the lost point. *)
+  write_file path (String.sub intact 0 (String.length intact - 7));
+  Evaluate.clear_cache ();
+  let replayed = Evaluate.attach_journal path in
+  Alcotest.(check int) "one record lost to the torn tail" (Array.length loops - 1) replayed;
+  let agg2 = Evaluate.suite_on ~pool ~suite_id:"res-torn" cfg ~cycle_model:cm ~registers:64 loops in
+  Evaluate.detach_journal ();
+  Alcotest.(check bool) "resumed run matches the uninterrupted one" true (agg1 = agg2);
+  (* Garbage appended by a corrupt writer is likewise discarded. *)
+  let healthy = read_file path in
+  write_file path (healthy ^ "wrj1 not a real record\n\x00\x01partial");
+  Evaluate.clear_cache ();
+  let replayed = Evaluate.attach_journal path in
+  Evaluate.detach_journal ();
+  Alcotest.(check int) "garbage tail discarded" (Array.length loops) replayed
+
+let test_quarantined_points_not_journaled () =
+  with_clean_state @@ fun () ->
+  with_tmp_journal @@ fun path ->
+  with_pool 2 @@ fun pool ->
+  Fault.configure [ raise_all_spec ];
+  ignore (Evaluate.attach_journal path);
+  ignore (Evaluate.suite_on ~pool ~suite_id:"res-q-journal" cfg ~cycle_model:cm ~registers:64 loops);
+  Evaluate.detach_journal ();
+  Alcotest.(check int) "faulted run quarantined everything" (Array.length loops)
+    (Evaluate.quarantined_count ());
+  (* Resume without the fault: the degraded points were not journaled,
+     so they are retried and now succeed. *)
+  Fault.configure [];
+  Evaluate.reset_quarantine ();
+  Evaluate.clear_cache ();
+  let replayed = Evaluate.attach_journal path in
+  Alcotest.(check int) "degraded points were not checkpointed" 0 replayed;
+  let agg = Evaluate.suite_on ~pool ~suite_id:"res-q-journal" cfg ~cycle_model:cm ~registers:64 loops in
+  Evaluate.detach_journal ();
+  Alcotest.(check int) "retried points now pipeline" 0 agg.Evaluate.unpipelined
+
+let test_fault_parse () =
+  (match Fault.parse "sched:0.01:0x5EED" with
+  | Ok [ { Fault.site = "sched"; prob = 0.01; seed = 0x5EEDL; action = Fault.Raise } ] -> ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.fail e);
+  (match Fault.parse "widen:1:7:delay=25,spill:0.5:9" with
+  | Ok
+      [
+        { Fault.site = "widen"; prob = 1.0; seed = 7L; action = Fault.Delay_ms 25 };
+        { Fault.site = "spill"; prob = 0.5; seed = 9L; action = Fault.Raise };
+      ] -> ()
+  | Ok _ -> Alcotest.fail "wrong multi-spec parse"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Fault.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "sched"; "sched:2.0:1"; "sched:-0.1:1"; "sched:0.5:notanumber"; "sched:0.5:1:delay=x" ]
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "supervision",
+        [
+          Alcotest.test_case "injection degrades, run completes" `Quick
+            test_injection_degrades_not_kills;
+          Alcotest.test_case "no context, no injection" `Quick test_no_context_no_injection;
+          Alcotest.test_case "deterministic across pool sizes" `Quick
+            test_injection_deterministic_across_jobs;
+          Alcotest.test_case "strict mode fails fast" `Quick test_strict_mode_fails_fast;
+          Alcotest.test_case "budget overrun degrades" `Quick test_budget_overrun_degrades;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip replay" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick test_journal_torn_tail;
+          Alcotest.test_case "quarantined points retried on resume" `Quick
+            test_quarantined_points_not_journaled;
+        ] );
+      ("spec", [ Alcotest.test_case "WR_FAULT parsing" `Quick test_fault_parse ]);
+    ]
