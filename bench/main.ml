@@ -23,7 +23,7 @@ let experiments =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig2"; "fig3"; "fig4";
     "fig6"; "fig7"; "fig8"; "fig9"; "conclusion"; "ablation-compact"; "ablation-levers";
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
-    "endtoend"; "parspeed"; "schedmicro"; "fuzz"; "profile" ]
+    "endtoend"; "parspeed"; "schedmicro"; "interpmicro"; "fuzz"; "profile" ]
 
 (* Exit codes (documented in the README): 0 success, 1 usage error,
    2 runtime failure (mismatch, oracle violation, uncaught exception —
@@ -491,6 +491,129 @@ let run_experiment id =
       paper_note
         "Engine microbenchmark: isolates the modulo scheduler's wall time from the rest of \
          the evaluation pipeline."
+  | "interpmicro" ->
+      (* Interpreter microbenchmark: the flat kernel (compile +
+         run_plan) against the retained reference engine, loop by loop.
+         The selection is the suite loops with the most operations
+         (where the interpreter works hardest) plus the whole stencil
+         family (which exercises Fma and the in-place memory arenas).
+         Every pair of runs is first checked bit-identical, then timed;
+         BENCH_interp.json records ns/iteration and allocated bytes per
+         iteration for both engines so the interpreter's perf
+         trajectory is tracked commit over commit. *)
+      let module Interp = Wr_vliw.Interp in
+      let iterations = 1000 and reps = 25 and top_n = 12 in
+      let ranked =
+        Array.to_list
+          (Array.mapi
+             (fun i (loop : Wr_ir.Loop.t) ->
+               (loop.Wr_ir.Loop.name, i, loop, Wr_ir.Ddg.num_ops loop.Wr_ir.Loop.ddg))
+             loops)
+      in
+      let ranked =
+        (* Most operations first; ties broken by suite position so the
+           selection is deterministic. *)
+        List.sort
+          (fun (_, i, _, a) (_, j, _, b) -> if a <> b then compare b a else compare i j)
+          ranked
+      in
+      let picked =
+        List.filteri (fun i _ -> i < top_n) ranked
+        @ List.map
+            (fun (name, loop) ->
+              (name, -1, loop, Wr_ir.Ddg.num_ops loop.Wr_ir.Loop.ddg))
+            (Wr_workload.Stencil.all ())
+      in
+      (* Wall and allocation per engine run; both normalized per source
+         iteration.  Gc.allocated_bytes is monotonic and per-domain, so
+         the delta is exactly this engine's allocation. *)
+      let time_runs f =
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (f ())
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        let alloc = Gc.allocated_bytes () -. a0 in
+        let per_iter = float_of_int (reps * iterations) in
+        (wall, wall /. per_iter *. 1e9, alloc /. per_iter)
+      in
+      let timed =
+        List.map
+          (fun (name, index, loop, ops) ->
+            let c0 = Unix.gettimeofday () in
+            let plan = Interp.compile loop in
+            let compile_us = (Unix.gettimeofday () -. c0) *. 1e6 in
+            let flat = Interp.run_plan ~iterations plan in
+            let refr = Interp.run_reference ~iterations loop in
+            if
+              not
+                (Interp.equal_memory flat refr
+                && flat.Interp.loads = refr.Interp.loads
+                && flat.Interp.stores = refr.Interp.stores
+                && flat.Interp.flops = refr.Interp.flops)
+            then begin
+              Printf.eprintf "interpmicro: %s: engines disagree!\n" name;
+              exit 2
+            end;
+            let ref_wall, ref_ns, ref_alloc =
+              time_runs (fun () -> Interp.run_reference ~iterations loop)
+            in
+            let flat_wall, flat_ns, flat_alloc =
+              time_runs (fun () -> Interp.run_plan ~iterations plan)
+            in
+            (name, index, ops, compile_us, ref_wall, ref_ns, ref_alloc, flat_wall,
+             flat_ns, flat_alloc))
+          picked
+      in
+      Printf.printf "%-28s %5s %5s %12s %12s %8s %10s %10s\n" "loop" "index" "ops"
+        "ref_ns/iter" "flat_ns/iter" "speedup" "ref_B/iter" "flat_B/iter";
+      List.iter
+        (fun (name, index, ops, _, _, ref_ns, ref_alloc, _, flat_ns, flat_alloc) ->
+          Printf.printf "%-28s %5d %5d %12.1f %12.1f %7.2fx %10.1f %10.1f\n" name index
+            ops ref_ns flat_ns
+            (ref_ns /. Stdlib.max 1e-9 flat_ns)
+            ref_alloc flat_alloc)
+        timed;
+      let ref_total =
+        List.fold_left (fun acc (_, _, _, _, w, _, _, _, _, _) -> acc +. w) 0.0 timed
+      in
+      let flat_total =
+        List.fold_left (fun acc (_, _, _, _, _, _, _, w, _, _) -> acc +. w) 0.0 timed
+      in
+      let speedup = ref_total /. Stdlib.max 1e-9 flat_total in
+      Printf.printf
+        "total: reference %.3fs, flat %.3fs -> %.2fx over %d loops (%d reps x %d \
+         iterations each)\n"
+        ref_total flat_total speedup (List.length timed) reps iterations;
+      let path = "BENCH_interp.json" in
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc
+            "{\n  \"suite\": \"%s\",\n  \"iterations\": %d,\n  \"reps\": %d,\n\
+            \  \"loops\": [\n%s\n  ],\n  \"ref_total_s\": %.6f,\n\
+            \  \"flat_total_s\": %.6f,\n  \"speedup\": %.3f\n}\n"
+            (json_escape suite_id) iterations reps
+            (String.concat ",\n"
+               (List.map
+                  (fun ( name, index, ops, compile_us, _, ref_ns, ref_alloc, _, flat_ns,
+                         flat_alloc ) ->
+                    Printf.sprintf
+                      "    { \"name\": \"%s\", \"index\": %d, \"ops\": %d, \
+                       \"compile_us\": %.2f, \"ref_ns_per_iter\": %.2f, \
+                       \"flat_ns_per_iter\": %.2f, \"speedup\": %.3f, \
+                       \"ref_alloc_b_per_iter\": %.2f, \"flat_alloc_b_per_iter\": %.2f }"
+                      (json_escape name) index ops compile_us ref_ns flat_ns
+                      (ref_ns /. Stdlib.max 1e-9 flat_ns)
+                      ref_alloc flat_alloc)
+                  timed))
+            ref_total flat_total speedup);
+      Printf.printf "[json] wrote %s\n%!" path;
+      record_wall "interpmicro/reference-total" ref_total;
+      record_wall "interpmicro/flat-total" flat_total;
+      paper_note
+        "Engine microbenchmark: isolates the functional interpreter (the oracle engine \
+         behind every --verify run) from scheduling and study logic; both engines are \
+         checked bit-identical before timing."
   | "fuzz" ->
       (* Randomized end-to-end verification: seeded (generator loop x
          design-space point) pairs through the full

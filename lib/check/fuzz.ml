@@ -36,6 +36,9 @@ let param_variants =
     { d with Generator.reduction_prob = 0.20; chain_prob = 0.10 };
     { d with Generator.div_prob = 0.12; sqrt_prob = 0.05 };
     { d with Generator.statements_mean = 6.0; statements_max = 20 };
+    (* Fused multiply-adds exercise the 3-operand paths in the
+       interpreter, compaction census, and schedulers. *)
+    { d with Generator.fma_prob = 0.30 };
   |]
 
 (* The paper's XwY grid up to factor 8, crossed below with register

@@ -214,7 +214,15 @@ let show_diffs diffs =
          Printf.sprintf "A%d[%d]: %s vs %s" a addr (v l) (v r))
        (List.filteri (fun i _ -> i < 3) diffs))
 
-let check_widening ~original ~widened ~width =
+(* Run through a pre-compiled plan when the caller has one (Evaluate
+   caches them per loop so a verified study compiles once per loop, not
+   once per machine point); compile on the fly otherwise. *)
+let interp_run ?plan ~iterations loop =
+  match plan with
+  | Some p -> Interp.run_plan ~iterations p
+  | None -> Interp.run ~iterations loop
+
+let check_widening ?original_plan ?widened_plan ~original ~widened ~width () =
   if width = 1 then []
   else begin
     let buf = ref [] in
@@ -282,9 +290,9 @@ let check_widening ~original ~widened ~width =
     let k = 3 in
     (match
        ( interp_guard ~oracle:"widening.interp" buf (fun () ->
-             Interp.run ~iterations:(k * width) original),
+             interp_run ?plan:original_plan ~iterations:(k * width) original),
          interp_guard ~oracle:"widening.interp" buf (fun () ->
-             Interp.run ~iterations:k widened) )
+             interp_run ?plan:widened_plan ~iterations:k widened) )
      with
     | Some a, Some b ->
         if not (Interp.equal_memory a b) then
@@ -305,16 +313,18 @@ let check_widening ~original ~widened ~width =
 
 (* --- spill/semantics oracle -------------------------------------------- *)
 
-let check_spill ~pre ~post ?(iterations = 8) () =
+let check_spill ?pre_plan ~pre ~post ?(iterations = 8) () =
   let buf = ref [] in
   let post_loop =
     Loop.make
       ~name:(pre.Loop.name ^ "/spilled")
       ~ddg:post ~trip_count:pre.Loop.trip_count ~weight:pre.Loop.weight ()
   in
+  (* The spilled graph is unique to this machine point, so its plan is
+     compiled fresh; only the pre-spill side can reuse a cached plan. *)
   (match
      ( interp_guard ~oracle:"spill.interp" buf (fun () ->
-           Interp.run ~iterations pre),
+           interp_run ?plan:pre_plan ~iterations pre),
        interp_guard ~oracle:"spill.interp" buf (fun () ->
            Interp.run ~iterations post_loop) )
    with
@@ -336,7 +346,7 @@ let check_spill ~pre ~post ?(iterations = 8) () =
 
 (* --- composite oracles ------------------------------------------------- *)
 
-let check_driver resource ~registers ~pre outcome =
+let check_driver ?pre_plan resource ~registers ~pre outcome =
   match outcome with
   | Driver.Unschedulable _ -> []
   | Driver.Scheduled s ->
@@ -347,7 +357,7 @@ let check_driver resource ~registers ~pre outcome =
             ~available:(Some registers)
       in
       if s.Driver.stores_added > 0 || s.Driver.loads_added > 0 then
-        vs @ check_spill ~pre ~post:s.Driver.graph ()
+        vs @ check_spill ?pre_plan ~pre ~post:s.Driver.graph ()
       else vs
 
 type point_report = {
@@ -359,7 +369,7 @@ type point_report = {
 
 let check_point (c : Config.t) ~cycle_model ~registers ?(policy = Driver.Combined) loop =
   let widened, _stats = Transform.widen loop ~width:c.Config.width in
-  let wv = check_widening ~original:loop ~widened ~width:c.Config.width in
+  let wv = check_widening ~original:loop ~widened ~width:c.Config.width () in
   let resource = Resource.of_config c in
   let outcome = Driver.run resource ~cycle_model ~registers ~policy widened.Loop.ddg in
   let dv = check_driver resource ~registers ~pre:widened outcome in

@@ -66,7 +66,13 @@ val check_alloc :
     fit the file. *)
 
 val check_widening :
-  original:Wr_ir.Loop.t -> widened:Wr_ir.Loop.t -> width:int -> violation list
+  ?original_plan:Wr_vliw.Interp.plan ->
+  ?widened_plan:Wr_vliw.Interp.plan ->
+  original:Wr_ir.Loop.t ->
+  widened:Wr_ir.Loop.t ->
+  width:int ->
+  unit ->
+  violation list
 (** Widening oracle.  Re-runs {!Wr_widen.Compact.analyze} on the
     original body and checks the widened graph against it: exactly one
     wide operation per compactable original (with [lanes = width] and,
@@ -75,16 +81,27 @@ val check_widening :
     that its lanes are pairwise independent), trip count divided by
     [width] — and bit-identical memory plus equal scalar work under the
     reference interpreter ([k * width] source iterations against [k]
-    wide ones). *)
+    wide ones).  [original_plan]/[widened_plan] are optional
+    pre-compiled interpreter plans for the two loops (see
+    {!Wr_vliw.Interp.compile}); callers that verify one loop at many
+    machine points pass cached plans so compilation is paid once. *)
 
 val check_spill :
-  pre:Wr_ir.Loop.t -> post:Wr_ir.Ddg.t -> ?iterations:int -> unit -> violation list
+  ?pre_plan:Wr_vliw.Interp.plan ->
+  pre:Wr_ir.Loop.t ->
+  post:Wr_ir.Ddg.t ->
+  ?iterations:int ->
+  unit ->
+  violation list
 (** Spill/semantics oracle.  Interprets the pre-spill loop and the
     post-spill graph for [iterations] (default 8) iterations and
     compares the memory images restricted to the program-visible
-    arrays of [pre] (the spill slot arrays are invisible). *)
+    arrays of [pre] (the spill slot arrays are invisible).  [pre_plan]
+    is an optional pre-compiled plan for [pre]; the post-spill graph is
+    unique to the machine point and always compiled fresh. *)
 
 val check_driver :
+  ?pre_plan:Wr_vliw.Interp.plan ->
   Wr_machine.Resource.t ->
   registers:int ->
   pre:Wr_ir.Loop.t ->

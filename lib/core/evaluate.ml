@@ -147,7 +147,43 @@ let sequential_cost ~cycle_model g =
   in
   resource_free
 
-let loop_on_impl (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
+(* Compiled interpreter plans, cached per (suite, loop index, width)
+   alongside the loop-level result cache: a verified study revisits one
+   loop at many (buses, registers, cycle model) points, and the oracles
+   interpret the original and widened bodies at each of them.  Plans
+   are iteration-count independent and immutable, so one entry serves
+   every point; width 0 keys the unwidened original.  Guarded by its
+   own mutex with the same discipline as the other memo tables (the
+   compile itself runs outside the lock). *)
+let plan_cache : (string * int * int, Wr_vliw.Interp.plan) Hashtbl.t = Hashtbl.create 1024
+
+let plan_cache_mutex = Mutex.create ()
+
+let cached_plan ~plan_key ~width loop =
+  match plan_key with
+  | None -> Some (Wr_vliw.Interp.compile loop)
+  | Some (suite_id, index) -> (
+      let key = (suite_id, index, width) in
+      Mutex.lock plan_cache_mutex;
+      let hit = Hashtbl.find_opt plan_cache key in
+      Mutex.unlock plan_cache_mutex;
+      match hit with
+      | Some p -> Some p
+      | None ->
+          let p = Wr_vliw.Interp.compile loop in
+          Mutex.lock plan_cache_mutex;
+          (* First store wins, mirroring the loop cache. *)
+          let stored =
+            match Hashtbl.find_opt plan_cache key with
+            | Some q -> q
+            | None ->
+                Hashtbl.add plan_cache key p;
+                p
+          in
+          Mutex.unlock plan_cache_mutex;
+          Some stored)
+
+let loop_on_impl ?plan_key (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
   Atomic.incr eval_count;
   if Obs.enabled () then Obs.incr "eval/evaluations";
   (* The body is widened for the machine's width but NOT unrolled by
@@ -169,9 +205,19 @@ let loop_on_impl (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
     in
     let vs =
       Obs.span "verify" (fun () ->
-          Wr_check.Oracle.check_widening ~original:loop ~widened:prepared
-            ~width:c.Config.width
-          @ Wr_check.Oracle.check_driver resource ~registers ~pre:prepared outcome)
+          (* Compile failures surface through the same guard as
+             interpreter failures did before plans existed. *)
+          let original_plan =
+            try cached_plan ~plan_key ~width:0 loop with Invalid_argument _ -> None
+          in
+          let widened_plan =
+            try cached_plan ~plan_key ~width:c.Config.width prepared
+            with Invalid_argument _ -> None
+          in
+          Wr_check.Oracle.check_widening ?original_plan ?widened_plan ~original:loop
+            ~widened:prepared ~width:c.Config.width ()
+          @ Wr_check.Oracle.check_driver ?pre_plan:widened_plan resource ~registers
+              ~pre:prepared outcome)
     in
     Wr_check.Oracle.fail_if_any ~context vs;
     Atomic.incr verified_count
@@ -221,13 +267,13 @@ let loop_on_impl (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
         trip_count = prepared.Loop.trip_count;
       }
 
-let loop_on (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
-  if not (Obs.enabled ()) then loop_on_impl c ~cycle_model ~registers loop
+let loop_on ?plan_key (c : Config.t) ~cycle_model ~registers (loop : Loop.t) =
+  if not (Obs.enabled ()) then loop_on_impl ?plan_key c ~cycle_model ~registers loop
   else
     (* The args list is only built when tracing is on. *)
     Obs.span "eval/loop"
       ~args:[ ("loop", loop.Loop.name); ("config", Config.label c) ]
-      (fun () -> loop_on_impl c ~cycle_model ~registers loop)
+      (fun () -> loop_on_impl ?plan_key c ~cycle_model ~registers loop)
 
 type aggregate = {
   total_cycles : float;
@@ -263,6 +309,9 @@ let clear_cache () =
   Hashtbl.reset cache;
   Hashtbl.reset loop_cache;
   Mutex.unlock cache_mutex;
+  Mutex.lock plan_cache_mutex;
+  Hashtbl.reset plan_cache;
+  Mutex.unlock plan_cache_mutex;
   (* The hit/miss statistics describe the cache contents; dropping one
      without the other would make subsequent hit rates unreadable. *)
   Atomic.set suite_hits 0;
@@ -412,10 +461,13 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
           (Cycle_model.cycles cycle_model)
       in
       let evaluate () =
+        let plan_key = (suite_id, index) in
         Wr_util.Fault.with_context context (fun () ->
             match Atomic.get loop_budget with
-            | 0 -> loop_on c ~cycle_model ~registers loop
-            | ms -> Wr_util.Deadline.with_budget_ms ms (fun () -> loop_on c ~cycle_model ~registers loop))
+            | 0 -> loop_on ~plan_key c ~cycle_model ~registers loop
+            | ms ->
+                Wr_util.Deadline.with_budget_ms ms (fun () ->
+                    loop_on ~plan_key c ~cycle_model ~registers loop))
       in
       let r, clean =
         match evaluate () with

@@ -40,13 +40,19 @@ type loop_result = {
 }
 
 val loop_on :
+  ?plan_key:string * int ->
   Wr_machine.Config.t ->
   cycle_model:Wr_machine.Cycle_model.t ->
   registers:int ->
   Wr_ir.Loop.t ->
   loop_result
 (** Uncached full-pipeline evaluation of one loop; increments
-    {!evaluations}. *)
+    {!evaluations}.  [plan_key] ([suite_id], [index]) keys the memo of
+    compiled {!Wr_vliw.Interp} plans used by the verification oracles,
+    so a verified study interprets each loop through one compiled plan
+    across all its machine points; without it plans are compiled per
+    call.  It must uniquely name the loop, like the cache key of
+    {!loop_cached} (which passes it automatically). *)
 
 val loop_cached :
   suite_id:string ->
@@ -186,5 +192,6 @@ val acceptable : aggregate -> bool
     carry at most 10% of the execution weight. *)
 
 val clear_cache : unit -> unit
-(** Drops both memo levels: the suite aggregates and the per-loop
-    results.  Also resets {!cache_stats} for both levels. *)
+(** Drops all memo levels: the suite aggregates, the per-loop results,
+    and the compiled interpreter plans.  Also resets {!cache_stats} for
+    both counted levels. *)

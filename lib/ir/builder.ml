@@ -58,6 +58,7 @@ let fsqrt b x = emit_result b Opcode.Fsqrt [ x ] ~mem:None
 let fneg b x = emit_result b Opcode.Fneg [ x ] ~mem:None
 let fabs b x = emit_result b Opcode.Fabs [ x ] ~mem:None
 let fcopy b x = emit_result b Opcode.Fcopy [ x ] ~mem:None
+let fma b x y z = emit_result b Opcode.Fma [ x; y; z ] ~mem:None
 
 let carried v ~distance =
   if distance <= 0 then invalid_arg "Builder.carried: distance must be positive";

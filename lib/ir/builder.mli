@@ -48,6 +48,9 @@ val fneg : t -> value -> value
 val fabs : t -> value -> value
 val fcopy : t -> value -> value
 
+val fma : t -> value -> value -> value -> value
+(** [fma b x y z] is the fused multiply-add [x*y + z] (one rounding). *)
+
 val carried : value -> distance:int -> value
 (** [carried v ~distance] is the value [v] produced [distance]
     iterations earlier.  [distance] must be positive. *)

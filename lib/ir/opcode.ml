@@ -9,20 +9,21 @@ type t =
   | Fneg
   | Fabs
   | Fcopy
+  | Fma
 
 type resource_class = Bus | Fpu
 
 type latency_class = Store_op | Short_op | Div_op | Sqrt_op
 
-let all = [ Load; Store; Fadd; Fsub; Fmul; Fdiv; Fsqrt; Fneg; Fabs; Fcopy ]
+let all = [ Load; Store; Fadd; Fsub; Fmul; Fdiv; Fsqrt; Fneg; Fabs; Fcopy; Fma ]
 
 let resource_class = function
   | Load | Store -> Bus
-  | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fcopy -> Fpu
+  | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fcopy | Fma -> Fpu
 
 let latency_class = function
   | Store -> Store_op
-  | Load | Fadd | Fsub | Fmul | Fneg | Fabs | Fcopy -> Short_op
+  | Load | Fadd | Fsub | Fmul | Fneg | Fabs | Fcopy | Fma -> Short_op
   | Fdiv -> Div_op
   | Fsqrt -> Sqrt_op
 
@@ -38,6 +39,7 @@ let num_inputs = function
   | Store -> 1
   | Fadd | Fsub | Fmul | Fdiv -> 2
   | Fsqrt | Fneg | Fabs | Fcopy -> 1
+  | Fma -> 3
 
 let has_result = function Store -> false | _ -> true
 
@@ -52,6 +54,7 @@ let to_string = function
   | Fneg -> "fneg"
   | Fabs -> "fabs"
   | Fcopy -> "fcopy"
+  | Fma -> "fma"
 
 let of_string = function
   | "load" -> Some Load
@@ -64,6 +67,7 @@ let of_string = function
   | "fneg" -> Some Fneg
   | "fabs" -> Some Fabs
   | "fcopy" -> Some Fcopy
+  | "fma" -> Some Fma
   | _ -> None
 
 let pp fmt op = Format.pp_print_string fmt (to_string op)

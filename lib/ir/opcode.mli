@@ -18,6 +18,11 @@ type t =
   | Fneg
   | Fabs
   | Fcopy  (** register-to-register move; also used by spill-free renaming *)
+  | Fma
+      (** fused multiply-add [x*y + z] with a single rounding
+          ([Float.fma] semantics); counts as one FPU operation and one
+          flop per lane — the dominant primitive of the real stencil
+          and recurrence kernels in [lib/workload] *)
 
 type resource_class =
   | Bus  (** memory port between the register file and the L1 cache *)

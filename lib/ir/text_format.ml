@@ -199,6 +199,11 @@ let build (p : parsed_loop) =
             | Opcode.Fneg, None -> Builder.fneg b (lookup lineno (List.nth uses 0))
             | Opcode.Fabs, None -> Builder.fabs b (lookup lineno (List.nth uses 0))
             | Opcode.Fcopy, None -> Builder.fcopy b (lookup lineno (List.nth uses 0))
+            | Opcode.Fma, None ->
+                Builder.fma b
+                  (lookup lineno (List.nth uses 0))
+                  (lookup lineno (List.nth uses 1))
+                  (lookup lineno (List.nth uses 2))
             | _ -> fail lineno "malformed statement"
           in
           (* If the name was forward-referenced, graft the definition

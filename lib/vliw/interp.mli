@@ -10,6 +10,20 @@
     exact (bit-level): the transforms never reassociate arithmetic, so
     even floating point must agree.
 
+    Two engines implement one semantics:
+
+    {ul
+    {- the {e reference engine} ({!run_reference}) interprets the graph
+       directly — per-operand allocation, a Hashtbl for memory — and is
+       the semantic anchor;}
+    {- the {e flat kernel} ({!compile} + {!run_plan}, what {!run} uses)
+       lowers the graph once to a scalar micro-op tape over flat
+       [int]/[float] arrays with per-array memory arenas, executes with
+       no per-iteration allocation, and is differentially tested to be
+       bit-identical to the reference (including the [loads]/[stores]/
+       [flops] counters).  Setting [WR_INTERP_SAFE=1] routes every run
+       through the reference engine instead.}}
+
     Conventions that make the semantics transform-invariant:
 
     {ul
@@ -23,7 +37,10 @@
        identically whether the value lives in a register or, after
        spilling, in an iteration-indexed slot at a negative address);}
     {- {b live-ins}: enumerated in first-use order (which the
-       transforms preserve) and valued by hashing their position.}} *)
+       transforms preserve) and valued by hashing their position.}}
+
+    [Fma] executes with [Float.fma] semantics (single rounding), in
+    both engines and in the cycle-level simulator. *)
 
 type memory_image = ((int * int) * float) list
 (** Sorted [(array, address) -> value] association list of every word
@@ -36,11 +53,36 @@ type result = {
   flops : int;  (** scalar arithmetic operations executed *)
 }
 
+type plan
+(** A loop compiled to the flat micro-op tape.  Iteration-count
+    independent (memory arenas are sized per run), so one plan serves
+    every {!run_plan} call; plans are immutable and safe to share
+    across domains. *)
+
+val compile : Wr_ir.Loop.t -> plan
+(** One-time lowering: topological order, operand slot/distance tables,
+    live-in values, circular-buffer layout, and per-lane memory
+    coefficients, all resolved into dense arrays.  Raises
+    [Invalid_argument] on graphs the transforms never produce (e.g. a
+    lane selection out of the producer's range) — eagerly, where the
+    reference engine would only raise once the offending operand is
+    executed. *)
+
+val run_plan : ?iterations:int -> plan -> result
+(** Executes a compiled plan for [iterations] graph iterations
+    (default: the source loop's trip count). *)
+
 val run : ?iterations:int -> Wr_ir.Loop.t -> result
-(** Executes the loop for [iterations] graph iterations (default: the
-    loop's trip count).  Raises [Invalid_argument] if the graph uses an
-    operand shape the transforms never produce (e.g. a lane selection
-    out of the producer's range). *)
+(** [compile] + [run_plan] (or the reference engine under
+    [WR_INTERP_SAFE=1]).  Executes the loop for [iterations] graph
+    iterations (default: the loop's trip count).  Raises
+    [Invalid_argument] if the graph uses an operand shape the
+    transforms never produce.  [iterations = 0] returns the empty
+    result without building any side table. *)
+
+val run_reference : ?iterations:int -> Wr_ir.Loop.t -> result
+(** The retained direct interpreter — the differential-testing anchor
+    for the flat kernel. *)
 
 val equal_memory : result -> result -> bool
 (** Bit-exact comparison of the written memory images. *)
@@ -55,7 +97,8 @@ val arrays_of : Wr_ir.Loop.t -> int list
 val restrict : result -> arrays:int list -> result
 (** Drop memory locations outside the given arrays — used to compare a
     spilled loop (which also writes its spill slots) against the
-    original on the program-visible arrays only. *)
+    original on the program-visible arrays only.  Linear in the image
+    size (sorted merge). *)
 
 val prehistory : float
 (** The pre-loop constant (1.5). *)

@@ -164,8 +164,16 @@ let run g (s : Schedule.t) (a : mapping) (c : Config.t) ~iterations =
           | Opcode.Bus -> reserve bus_use c.Config.buses "bus" t occ
           | Opcode.Fpu -> reserve fpu_use c.Config.fpus "fpu" t occ);
           (* Port usage: operand reads at issue, result write at
-             write-back. *)
-          use_ports port_reads read_ports "read" t (List.length o.Operation.uses);
+             write-back.  Fma's addend arrives on the FPU's dedicated
+             accumulator port — the priced file has two general read
+             ports per FPU, so only the two multiplicands contend for
+             them. *)
+          let port_uses =
+            match o.Operation.opcode with
+            | Opcode.Fma -> 2
+            | _ -> List.length o.Operation.uses
+          in
+          use_ports port_reads read_ports "read" t port_uses;
           (match o.Operation.def with
           | Some _ ->
               use_ports port_writes write_ports "write"
@@ -200,6 +208,14 @@ let run g (s : Schedule.t) (a : mapping) (c : Config.t) ~iterations =
               let x = operand_value ~lanes operands.(u).(0) ~iteration in
               let dst = a.physical ~vreg:(Option.get o.Operation.def) ~iteration in
               push reg_writes (t + latency) (dst, apply_unary opc x);
+              last_effect := Stdlib.max !last_effect (t + latency)
+          | Opcode.Fma ->
+              let x = operand_value ~lanes operands.(u).(0) ~iteration in
+              let y = operand_value ~lanes operands.(u).(1) ~iteration in
+              let z = operand_value ~lanes operands.(u).(2) ~iteration in
+              let dst = a.physical ~vreg:(Option.get o.Operation.def) ~iteration in
+              push reg_writes (t + latency)
+                (dst, Array.init lanes (fun k -> Float.fma x.(k) y.(k) z.(k)));
               last_effect := Stdlib.max !last_effect (t + latency)
         end
       end

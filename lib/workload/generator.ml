@@ -18,6 +18,7 @@ type params = {
   mul_prob : float;
   div_prob : float;
   sqrt_prob : float;
+  fma_prob : float;
   trip_min : int;
   trip_max : int;
   weight_tail : float;
@@ -41,6 +42,10 @@ let default =
     mul_prob = 0.45;
     div_prob = 0.03;
     sqrt_prob = 0.015;
+    (* Default 0.0 keeps the RNG draw stream — and with it every golden
+       CSV — bit-identical: the fma branch below short-circuits before
+       drawing. *)
+    fma_prob = 0.0;
     trip_min = 16;
     trip_max = 4096;
     weight_tail = 2.0;
@@ -96,7 +101,9 @@ let rec expr st depth =
     let l = expr st (depth + 1) in
     let r = expr st (depth + 1) in
     let v =
-      if Rng.bernoulli st.rng st.p.mul_prob then B.fmul st.b l r
+      if st.p.fma_prob > 0.0 && Rng.bernoulli st.rng st.p.fma_prob then
+        B.fma st.b l r (leaf st)
+      else if Rng.bernoulli st.rng st.p.mul_prob then B.fmul st.b l r
       else if Rng.bernoulli st.rng 0.25 then B.fsub st.b l r
       else B.fadd st.b l r
     in

@@ -43,6 +43,10 @@ type params = {
   mul_prob : float;  (** interior node is a multiply (vs add/sub) *)
   div_prob : float;  (** statement root passes through a divide *)
   sqrt_prob : float;  (** statement root passes through a square root *)
+  fma_prob : float;
+      (** interior node is a fused multiply-add.  Default 0.0, which
+          draws nothing from the RNG — the default stream (and every
+          golden CSV derived from it) is unchanged. *)
   trip_min : int;
   trip_max : int;
   weight_tail : float;  (** Pareto tail exponent for execution weights *)

@@ -1,0 +1,122 @@
+module B = Wr_ir.Builder
+
+(* Real stencil and recurrence kernels, written with fused multiply-add
+   where a real compiler would contract — the counterpart of the
+   synthetic suite for "synthetic vs real" study cuts.  Array-id
+   conventions are local to each kernel.  Live-ins stand for the
+   physical constants (diffusion rates, feed/kill rates, filter taps);
+   the interpreter values them by position, so what matters here is the
+   dependence and compactability structure, which is stated per
+   kernel. *)
+
+(* Gray-Scott reaction-diffusion, U field, one 1-D time-step row:
+     u'(i) = u(i) + Du*(u(i-1) - 2u(i) + u(i+1)) - u(i)*v(i)^2 + F*(1 - u(i))
+   Out-of-place (u' in its own array), so the loop carries no
+   dependence: every operation is compactable, the three shifted loads
+   of [u] overlap pairwise.  Three of the five multiplies contract into
+   fmas. *)
+let gray_scott_u () =
+  let b = B.create ~name:"gray_scott_u" () in
+  let du = B.live_in b and feed = B.live_in b in
+  let neg_two = B.live_in b and one = B.live_in b in
+  let um = B.load b ~array_id:0 ~offset:(-1) () in
+  let u0 = B.load b ~array_id:0 () in
+  let up = B.load b ~array_id:0 ~offset:1 () in
+  let v0 = B.load b ~array_id:1 () in
+  let lap = B.fma b neg_two u0 (B.fadd b um up) in
+  let diffused = B.fma b du lap u0 in
+  let uvv = B.fmul b (B.fmul b v0 v0) u0 in
+  let fed = B.fma b feed (B.fsub b one u0) (B.fsub b diffused uvv) in
+  B.store b ~array_id:2 () fed;
+  B.finish b ~trip_count:1024 ()
+
+(* Gray-Scott V field:
+     v'(i) = v(i) + Dv*(v(i-1) - 2v(i) + v(i+1)) + u(i)*v(i)^2 - (F+k)*v(i) *)
+let gray_scott_v () =
+  let b = B.create ~name:"gray_scott_v" () in
+  let dv = B.live_in b and fk = B.live_in b and neg_two = B.live_in b in
+  let vm = B.load b ~array_id:1 ~offset:(-1) () in
+  let v0 = B.load b ~array_id:1 () in
+  let vp = B.load b ~array_id:1 ~offset:1 () in
+  let u0 = B.load b ~array_id:0 () in
+  let lap = B.fma b neg_two v0 (B.fadd b vm vp) in
+  let diffused = B.fma b dv lap v0 in
+  let uvv = B.fma b (B.fmul b u0 v0) v0 diffused in
+  let decayed = B.fma b (B.fneg b fk) v0 uvv in
+  B.store b ~array_id:3 () decayed;
+  B.finish b ~trip_count:1024 ()
+
+(* In-place 1-D heat equation step:
+     a(i) = a(i) + alpha*(a(i-1) - 2a(i) + a(i+1))
+   The store to a(i) conflicts with the load of a(i+1) one iteration
+   later — a distance-1 memory dependence the scheduler must honour,
+   and the reason the three loads of [a] cannot all compact. *)
+let heat1d () =
+  let b = B.create ~name:"heat1d" () in
+  let alpha = B.live_in b and neg_two = B.live_in b in
+  let am = B.load b ~array_id:0 ~offset:(-1) () in
+  let a0 = B.load b ~array_id:0 () in
+  let ap = B.load b ~array_id:0 ~offset:1 () in
+  let lap = B.fma b neg_two a0 (B.fadd b am ap) in
+  B.store b ~array_id:0 () (B.fma b alpha lap a0);
+  B.finish b ~trip_count:1024 ()
+
+(* 3-tap FIR filter, an fma chain with no recurrence:
+     y(i) = c0*x(i-1) + c1*x(i) + c2*x(i+1) *)
+let fir3 () =
+  let b = B.create ~name:"fir3" () in
+  let c0 = B.live_in b and c1 = B.live_in b and c2 = B.live_in b in
+  let xm = B.load b ~array_id:0 ~offset:(-1) () in
+  let x0 = B.load b ~array_id:0 () in
+  let xp = B.load b ~array_id:0 ~offset:1 () in
+  let acc = B.fmul b c0 xm in
+  let acc = B.fma b c1 x0 acc in
+  let acc = B.fma b c2 xp acc in
+  B.store b ~array_id:1 () acc;
+  B.finish b ~trip_count:1024 ()
+
+(* Livermore kernel 6 shape — general first-order linear recurrence,
+   with the fma sitting ON the carried cycle:
+     w(i) = b(i) + a(i)*w(i-1)
+   The recurrence bounds the II from below and keeps the fma
+   non-compactable; the loads remain compactable. *)
+let linrec_fma () =
+  let b = B.create ~name:"linrec_fma" () in
+  let a = B.load b ~array_id:0 () in
+  let rhs = B.load b ~array_id:1 () in
+  let w = B.feedback b ~distance:1 ~f:(fun prev -> B.fma b a prev rhs) in
+  B.store b ~array_id:2 () w;
+  B.finish b ~trip_count:1000 ()
+
+(* Livermore kernel 7 (equation of state) as a contracted fma chain:
+     x(i) = u(i) + r*(z(i+5) + r*y(i+4)) + t*(u(i+3) ...) fragment,
+   here the four-term multiply-add tower:
+     t1 = u + r*z5;  t2 = t1 + t*z6;  t3 = t2 + r*y4;  t4 = t3 + t*y5
+   Straight-line dependent fmas: deep critical path, fully
+   compactable, no recurrence. *)
+let state_fma () =
+  let b = B.create ~name:"state_fma" () in
+  let r = B.live_in b and t = B.live_in b in
+  let u = B.load b ~array_id:0 () in
+  let z5 = B.load b ~array_id:1 ~offset:5 () in
+  let z6 = B.load b ~array_id:1 ~offset:6 () in
+  let y4 = B.load b ~array_id:2 ~offset:4 () in
+  let y5 = B.load b ~array_id:2 ~offset:5 () in
+  let t1 = B.fma b r z5 u in
+  let t2 = B.fma b t z6 t1 in
+  let t3 = B.fma b r y4 t2 in
+  let t4 = B.fma b t y5 t3 in
+  B.store b ~array_id:3 () t4;
+  B.finish b ~trip_count:1001 ()
+
+let all () =
+  [
+    ("gray_scott_u", gray_scott_u ());
+    ("gray_scott_v", gray_scott_v ());
+    ("heat1d", heat1d ());
+    ("fir3", fir3 ());
+    ("linrec_fma", linrec_fma ());
+    ("state_fma", state_fma ());
+  ]
+
+let suite () = Array.of_list (List.map snd (all ()))

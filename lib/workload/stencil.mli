@@ -1,0 +1,41 @@
+(** Real stencil and recurrence kernels with fused multiply-adds.
+
+    The paper reports widening only on (synthetic stand-ins for)
+    Perfect-Club loops; this family adds real kernels whose dependence
+    structure is known exactly, so studies can be cut "synthetic vs
+    real" and compactability claims checked against loops a compiler
+    actually sees.  Every kernel uses [Fma] where a contracting
+    compiler would, exercising the 3-operand pipeline end to end
+    (builder, interpreter, scheduler, widening census). *)
+
+val gray_scott_u : unit -> Wr_ir.Loop.t
+(** Gray-Scott reaction-diffusion U update, out of place: 3-point
+    Laplacian + reaction + feed.  No carried dependence — fully
+    compactable. *)
+
+val gray_scott_v : unit -> Wr_ir.Loop.t
+(** Gray-Scott V update: Laplacian + reaction + kill term. *)
+
+val heat1d : unit -> Wr_ir.Loop.t
+(** In-place 3-point heat stencil — the store conflicts with next
+    iteration's load at distance 1 (a memory-carried dependence). *)
+
+val fir3 : unit -> Wr_ir.Loop.t
+(** 3-tap FIR filter: an fma chain over three shifted loads, no
+    recurrence. *)
+
+val linrec_fma : unit -> Wr_ir.Loop.t
+(** First-order linear recurrence [w(i) = b(i) + a(i)*w(i-1)] with the
+    fma on the carried cycle (Livermore kernel 6 shape) — the fma is
+    recurrence-bound and never compacts. *)
+
+val state_fma : unit -> Wr_ir.Loop.t
+(** Livermore kernel 7 fragment as a dependent fma tower — deep
+    critical path, fully compactable. *)
+
+val all : unit -> (string * Wr_ir.Loop.t) list
+(** Every kernel, labelled. *)
+
+val suite : unit -> Wr_ir.Loop.t array
+(** The kernels as a loop array (study-cut building block; see
+    {!Suite.families}). *)

@@ -23,6 +23,16 @@ let sample k =
 let with_kernels () =
   Array.append (Array.of_list (List.map snd (Kernels.all ()))) (perfect_club_like ())
 
+let real () =
+  Array.concat
+    [
+      Array.of_list (List.map snd (Kernels.all ()));
+      Livermore.suite ();
+      Stencil.suite ();
+    ]
+
+let families () = [ ("synthetic", perfect_club_like ()); ("real", real ()) ]
+
 let statistics loops =
   let total_ops = ref 0 and total_loops = Array.length loops in
   let opcode_counts = Hashtbl.create 16 in

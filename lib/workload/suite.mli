@@ -16,6 +16,17 @@ val sample : int -> Wr_ir.Loop.t array
 val with_kernels : unit -> Wr_ir.Loop.t array
 (** The suite plus the hand-written kernels. *)
 
+val real : unit -> Wr_ir.Loop.t array
+(** The real-kernel family: the hand-written kernels, the Livermore
+    loops, and the {!Stencil} stencil/recurrence family (Gray-Scott,
+    heat, FIR, fma recurrences) — loops with exactly known dependence
+    structure, as opposed to the synthetic generator's. *)
+
+val families : unit -> (string * Wr_ir.Loop.t array) list
+(** The study cut: [[("synthetic", ...); ("real", ...)]] — drivers
+    report widening results per family so compactability claims can be
+    compared between generated and real loops. *)
+
 val statistics : Wr_ir.Loop.t array -> string
 (** Human-readable aggregate statistics (op counts, op mix, recurrence
     and compactability fractions) — printed by the bench harness so the

@@ -268,7 +268,7 @@ let test_oracle_widening_clean () =
   List.iter
     (fun (name, loop) ->
       let widened, _ = Wr_widen.Transform.widen loop ~width:2 in
-      match Oracle.check_widening ~original:loop ~widened ~width:2 with
+      match Oracle.check_widening ~original:loop ~widened ~width:2 () with
       | [] -> ()
       | vs -> Alcotest.failf "%s: %s" name (Oracle.to_string vs))
     [ ("daxpy", K.daxpy ()); ("triad", K.stream_triad ()); ("horner", K.horner ()) ]
@@ -279,7 +279,7 @@ let test_oracle_widening_catches_mismatch () =
   let original = K.daxpy () in
   let widened, _ = Wr_widen.Transform.widen (K.vector_add ()) ~width:2 in
   Alcotest.(check bool) "mismatched pair flagged" true
-    (Oracle.check_widening ~original ~widened ~width:2 <> [])
+    (Oracle.check_widening ~original ~widened ~width:2 () <> [])
 
 let test_oracle_spill_clean () =
   let loop = K.banded_matvec () in
