@@ -23,7 +23,7 @@ let experiments =
   [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig2"; "fig3"; "fig4";
     "fig6"; "fig7"; "fig8"; "fig9"; "conclusion"; "ablation-compact"; "ablation-levers";
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance";
-    "endtoend"; "parspeed"; "schedmicro"; "interpmicro"; "fuzz"; "profile" ]
+    "endtoend"; "gap"; "parspeed"; "schedmicro"; "interpmicro"; "fuzz"; "profile" ]
 
 (* Exit codes (documented in the README): 0 success, 1 usage error,
    2 runtime failure (mismatch, oracle violation, uncaught exception —
@@ -33,7 +33,7 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE] \
      [--verify] [--strict] [--journal FILE] [--loop-budget-ms N] [--cases N] [--fuzz-seed N] \
-     [--trace FILE] [--metrics FILE]\n"
+     [--trace FILE] [--metrics FILE] [--backend heuristic|exact|portfolio] [--backend-diff]\n"
     (String.concat "|" experiments);
   exit 1
 
@@ -50,12 +50,15 @@ let ( selected,
       fuzz_cases,
       fuzz_seed,
       trace_path,
-      metrics_path ) =
+      metrics_path,
+      backend_flag,
+      backend_diff ) =
   let selected = ref "all" and sample = ref None and timing = ref true in
   let csv = ref None and jobs = ref None and json = ref None in
   let verify = ref false and cases = ref 200 and seed = ref 0x5EEDL in
   let strict = ref false and journal = ref None and budget = ref None in
   let trace = ref None and metrics = ref None in
+  let backend = ref None and diff = ref false in
   let rec parse = function
     | [] -> ()
     | "-s" :: n :: rest ->
@@ -103,6 +106,14 @@ let ( selected,
     | "--json" :: path :: rest ->
         json := Some path;
         parse rest
+    | "--backend" :: name :: rest ->
+        (match Wr_sched.Backend.of_string name with
+        | Some k -> backend := Some k
+        | None -> usage ());
+        parse rest
+    | "--backend-diff" :: rest ->
+        diff := true;
+        parse rest
     | id :: rest when id = "all" || List.mem id experiments ->
         selected := id;
         parse rest
@@ -110,9 +121,11 @@ let ( selected,
   in
   parse (List.tl (Array.to_list Sys.argv));
   ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !strict, !journal, !budget,
-    !cases, !seed, !trace, !metrics )
+    !cases, !seed, !trace, !metrics, !backend, !diff )
 
 let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
+
+let () = Option.iter Wr_sched.Backend.set backend_flag
 
 let () = if verify_flag then Core.Evaluate.set_verify true
 
@@ -272,6 +285,15 @@ let run_experiment id =
       let t = Core.Spill_study.run ~suite_id loops in
       print_string (Core.Spill_study.to_text t);
       write_csv "fig3" Core.Csv_export.fig3_header (Core.Csv_export.fig3_rows t);
+      let fams =
+        Core.Spill_study.run_families ~suite_id (Wr_workload.Suite.families_for ~sample:sample_size)
+      in
+      List.iter
+        (fun (name, ft) ->
+          Printf.printf "---- family %s ----\n%s" name (Core.Spill_study.to_text ft))
+        fams;
+      write_csv "fig3_families" Core.Csv_export.fig3_families_header
+        (Core.Csv_export.fig3_families_rows fams);
       paper_note
         "Paper shape: 8w1/32 unschedulable; 4w2 beats 8w1 at 64 and 128 registers; 1w2 \
          saturates by 64 registers."
@@ -296,6 +318,15 @@ let run_experiment id =
       let t = Core.Tradeoff.figure9 ~suite_id loops in
       print_string (Core.Tradeoff.figure9_text t);
       write_csv "fig9" Core.Csv_export.fig9_header (Core.Csv_export.fig9_rows t);
+      let fams =
+        Core.Tradeoff.figure9_families ~suite_id (Wr_workload.Suite.families_for ~sample:sample_size)
+      in
+      List.iter
+        (fun (name, ft) ->
+          Printf.printf "---- family %s ----\n%s" name (Core.Tradeoff.figure9_text ft))
+        fams;
+      write_csv "fig9_families" Core.Csv_export.fig9_families_header
+        (Core.Csv_export.fig9_families_rows fams);
       paper_note
         "Paper shape: top-five lists are dominated by small replication x widening mixes; \
          the most aggressive configurations never appear."
@@ -376,6 +407,48 @@ let run_experiment id =
       end;
       paper_note
         "Beyond the paper: every schedule is executed on a cycle-level simulator with MVE          register assignment and compared bit-for-bit with sequential semantics."
+  | "gap" ->
+      (* HRMS-vs-optimal study: the exact branch-and-bound backend
+         refines the heuristic schedule of every (family, loop, config)
+         point and reports the II gap.  BENCH_gap.json is always
+         written so CI can assert gap >= 0 on every row and that at
+         least one point was proved optimal. *)
+      let families = Wr_workload.Suite.families_for ~sample:sample_size in
+      let t0 = Unix.gettimeofday () in
+      let t = Core.Gap_study.run families in
+      let wall = Unix.gettimeofday () -. t0 in
+      print_string (Core.Gap_study.to_text t);
+      write_csv "gap" Core.Csv_export.gap_header (Core.Csv_export.gap_rows t);
+      let path = "BENCH_gap.json" in
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc
+            "{\n  \"suite\": \"%s\",\n  \"points\": %d,\n  \"proved_optimal\": %d,\n\
+            \  \"improved\": %d,\n  \"timeout\": %d,\n  \"gap_total\": %d,\n\
+            \  \"max_gap\": %d,\n  \"nodes_total\": %d,\n  \"wall_s\": %.3f,\n\
+            \  \"rows\": [\n%s\n  ]\n}\n"
+            (json_escape suite_id) t.Core.Gap_study.points t.Core.Gap_study.proved_optimal
+            t.Core.Gap_study.improved t.Core.Gap_study.fallback t.Core.Gap_study.gap_total
+            t.Core.Gap_study.max_gap t.Core.Gap_study.nodes_total wall
+            (String.concat ",\n"
+               (List.map
+                  (fun (r : Core.Gap_study.row) ->
+                    Printf.sprintf
+                      "    { \"family\": \"%s\", \"loop\": \"%s\", \"config\": \"%s\", \
+                       \"ops\": %d, \"mii\": %d, \"heur_ii\": %d, \"exact_ii\": %d, \
+                       \"gap\": %d, \"status\": \"%s\", \"nodes\": %d }"
+                      (json_escape r.Core.Gap_study.family)
+                      (json_escape r.Core.Gap_study.loop_name)
+                      (Config.label_short r.Core.Gap_study.config)
+                      r.Core.Gap_study.ops r.Core.Gap_study.mii r.Core.Gap_study.heur_ii
+                      r.Core.Gap_study.exact_ii r.Core.Gap_study.gap
+                      (Core.Gap_study.status_string r.Core.Gap_study.status)
+                      r.Core.Gap_study.nodes)
+                  t.Core.Gap_study.rows)));
+      Printf.printf "[json] wrote %s\n%!" path;
+      record_wall "gap/study-total" wall;
+      paper_note
+        "Beyond the paper: branch-and-bound lower bounds on the II quantify how close the \
+         HRMS-style heuristic sits to optimal on this workload."
   | "parspeed" ->
       (* Sequential-vs-parallel wall time of the two heaviest
          experiments, with an output-identity check: the speedup is
@@ -614,6 +687,37 @@ let run_experiment id =
         "Engine microbenchmark: isolates the functional interpreter (the oracle engine \
          behind every --verify run) from scheduling and study logic; both engines are \
          checked bit-identical before timing."
+  | "fuzz" when backend_diff ->
+      (* Differential bug hunt: every seeded case scheduled by both the
+         heuristic and the exact backend.  Bugs (oracle failures, exact
+         II above heuristic, exact II below MII) fail the run with a
+         reproducer; exact < heuristic with both schedules valid is an
+         optimality-gap lead, logged but benign. *)
+      Printf.printf "backend-diff fuzzing %d cases (seed %#Lx)\n%!" fuzz_cases fuzz_seed;
+      let stats =
+        Wr_check.Fuzz.run_backend_diff
+          ~on_case:(fun i ->
+            if (i + 1) mod 50 = 0 then Printf.printf "  ... %d cases done\n%!" (i + 1))
+          ~seed:fuzz_seed ~cases:fuzz_cases ()
+      in
+      Printf.printf "%s\n" (Wr_check.Fuzz.diff_summary stats);
+      List.iter
+        (fun d ->
+          Printf.printf "---- gap lead ----\n%s\n" (Wr_check.Fuzz.diff_reproducer d))
+        stats.Wr_check.Fuzz.dgaps;
+      List.iter
+        (fun d ->
+          Printf.printf "---- reproducer ----\n%s\n" (Wr_check.Fuzz.diff_reproducer d))
+        stats.Wr_check.Fuzz.dbug_cases;
+      if stats.Wr_check.Fuzz.dbug_cases <> [] then begin
+        Printf.eprintf "fuzz --backend-diff: %d bug case(s)\n"
+          (List.length stats.Wr_check.Fuzz.dbug_cases);
+        exit 2
+      end;
+      paper_note
+        "Engine check: the exact backend cross-examines the heuristic on every case — any \
+         heuristic II the exact search beats is a logged optimality gap, any invalid or \
+         worse exact schedule is a bug."
   | "fuzz" ->
       (* Randomized end-to-end verification: seeded (generator loop x
          design-space point) pairs through the full
@@ -814,13 +918,16 @@ let () =
   Printf.printf "%s\n" (Wr_workload.Suite.statistics loops);
   (* parspeed re-times fig3/fig9 at two pool sizes; keep it out of
      "all" so the default full run isn't doubled.  Invoke explicitly. *)
-  (* parspeed, fuzz and profile are explicit-only modes: the first
-     doubles the heavy figures, the second is a verification pass, and
-     the third re-runs fig3 under tracing — none is a figure of the
+  (* parspeed, gap, fuzz and profile are explicit-only modes: the
+     first doubles the heavy figures, gap runs a branch-and-bound
+     search per point, the third is a verification pass, and the
+     fourth re-runs fig3 under tracing — none is a figure of the
      paper. *)
   if selected = "all" then
     List.iter run_experiment
-      (List.filter (fun e -> e <> "parspeed" && e <> "fuzz" && e <> "profile") experiments)
+      (List.filter
+         (fun e -> e <> "parspeed" && e <> "gap" && e <> "fuzz" && e <> "profile")
+         experiments)
   else run_experiment selected;
   if Core.Evaluate.verify_enabled () then
     Printf.printf "[verify] %d (loop, machine-point) results passed all oracles, 0 violations\n"

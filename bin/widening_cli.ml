@@ -27,7 +27,8 @@ let experiment_ids =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "all";
   ]
 
-let run_experiment id sample jobs trace metrics strict journal budget =
+let run_experiment id sample jobs trace metrics strict journal budget backend =
+  Option.iter Wr_sched.Backend.set backend;
   Option.iter Wr_util.Pool.set_default_jobs jobs;
   if trace <> None || metrics <> None then Wr_obs.Obs.set_enabled true;
   if strict then Core.Evaluate.set_strict true;
@@ -171,6 +172,23 @@ let budget_arg =
   in
   Arg.(value & opt (some positive) None & info [ "loop-budget-ms" ] ~docv:"MS" ~doc)
 
+let backend_arg =
+  let doc =
+    "Modulo-scheduler backend: $(b,heuristic) (the HRMS-style default), $(b,exact) \
+     (branch-and-bound refinement of the heuristic schedule), or $(b,portfolio) (race \
+     both and keep the better result).  Also the WR_SCHED_BACKEND environment variable."
+  in
+  let backend_conv =
+    let parse s =
+      match Wr_sched.Backend.of_string s with
+      | Some k -> Ok k
+      | None -> Error (`Msg "BACKEND must be heuristic, exact or portfolio")
+    in
+    Arg.conv
+      (parse, fun fmt k -> Format.pp_print_string fmt (Wr_sched.Backend.to_string k))
+  in
+  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let experiment_cmd =
   let id =
     let doc = "Experiment id: " ^ String.concat ", " experiment_ids ^ "." in
@@ -180,7 +198,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
     Term.(const run_experiment $ id $ sample_arg $ jobs_arg $ trace_arg $ metrics_arg
-          $ strict_arg $ journal_arg $ budget_arg)
+          $ strict_arg $ journal_arg $ budget_arg $ backend_arg)
 
 (* --- schedule --------------------------------------------------------- *)
 
@@ -192,7 +210,8 @@ let find_kernel name =
         (Printf.sprintf "unknown kernel %s (available: %s)" name
            (String.concat ", " (List.map fst (Wr_workload.Kernels.all ()))))
 
-let run_schedule kernel config_str verbose =
+let run_schedule kernel config_str verbose backend =
+  Option.iter Wr_sched.Backend.set backend;
   match (find_kernel kernel, Config.parse config_str) with
   | Error e, _ -> prerr_endline e; exit 1
   | _, Error e -> prerr_endline e; exit 1
@@ -234,7 +253,7 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Software-pipeline one kernel on a configuration")
-    Term.(const run_schedule $ kernel $ config $ verbose)
+    Term.(const run_schedule $ kernel $ config $ verbose $ backend_arg)
 
 (* --- configs ---------------------------------------------------------- *)
 
@@ -424,7 +443,7 @@ let prepare_for kernel config_str =
       let wide, _ = Wr_widen.Transform.widen loop ~width:cfg.Config.width in
       let g = wide.Loop.ddg in
       let r =
-        Wr_sched.Modulo.run (Resource.of_config cfg) ~cycle_model:Cycle_model.Cycles_4 g
+        Wr_sched.Backend.run (Resource.of_config cfg) ~cycle_model:Cycle_model.Cycles_4 g
       in
       (loop, wide, g, r.Wr_sched.Modulo.schedule, cfg)
 

@@ -93,6 +93,149 @@ let run ?(on_case = fun (_ : int) -> ()) ~seed ~cases () =
     failures = List.rev !failures;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Backend differential mode: heuristic vs exact scheduler.            *)
+
+type diff_case = {
+  dcase : int;
+  dloop : Loop.t;
+  dconfig : Config.t;
+  dcycle_model : Cycle_model.t;
+  dmii : int;
+  dheur_ii : int;
+  dexact_ii : int;
+  dstatus : Wr_sched.Exact.status;
+  dbugs : string list;  (** empty for a clean case or a pure gap lead *)
+}
+
+type diff_stats = {
+  dcases : int;
+  dagreed : int;
+  dproved : int;
+  dtimeouts : int;
+  dgaps : diff_case list;  (** exact < heuristic with both schedules valid *)
+  dbug_cases : diff_case list;  (** ordering or validity violations: bugs *)
+}
+
+(* Small bodies: the exact search must be effectively exhaustive for a
+   discrepancy to mean anything, and small graphs are where refutation
+   completes within the node budget. *)
+let diff_params =
+  let d = Generator.default in
+  [|
+    { d with Generator.statements_mean = 1.5; statements_max = 4 };
+    { d with Generator.statements_mean = 2.0; statements_max = 5; reduction_prob = 0.25;
+      chain_prob = 0.15 };
+    { d with Generator.statements_mean = 1.5; statements_max = 4; div_prob = 0.15;
+      sqrt_prob = 0.08 };
+    { d with Generator.statements_mean = 2.0; statements_max = 5; stride1_prob = 0.6 };
+  |]
+
+let diff_shapes = [| (1, 1); (2, 1); (1, 2); (2, 2); (4, 1); (1, 4) |]
+
+let run_backend_diff ?(on_case = fun (_ : int) -> ()) ?(max_nodes = 400_000) ~seed ~cases () =
+  let master = Rng.create ~seed in
+  let agreed = ref 0 and proved = ref 0 and timeouts = ref 0 in
+  let gaps = ref [] and bug_cases = ref [] in
+  for case = 0 to cases - 1 do
+    let rng = Rng.split master in
+    let params = Rng.choose rng diff_params in
+    let loop = Generator.generate_one rng params ~index:case in
+    let x, y = Rng.choose rng diff_shapes in
+    let config = Config.xwy ~x ~y () in
+    let cycle_model = Rng.choose rng [| Cycle_model.Cycles_1; Cycles_2; Cycles_3; Cycles_4 |] in
+    let wide, _ = Wr_widen.Transform.widen loop ~width:y in
+    let ddg = wide.Loop.ddg in
+    let resource = Wr_machine.Resource.of_config config in
+    let heur = Wr_sched.Modulo.run resource ~cycle_model ddg in
+    (* No wall budget: the node budget alone decides, so every case
+       replays bit-identically from (seed, index). *)
+    let exact = Wr_sched.Exact.solve resource ~cycle_model ~max_nodes ~base:heur ddg in
+    let heur_ii = heur.Wr_sched.Modulo.schedule.Wr_sched.Schedule.ii in
+    let exact_ii = exact.Wr_sched.Exact.ii in
+    let bugs = ref [] in
+    let oracle_check name s =
+      match Oracle.check_schedule ddg resource s with
+      | [] -> ()
+      | vs ->
+          bugs :=
+            Printf.sprintf "%s schedule fails the independent oracle: %s" name
+              (Oracle.to_string vs)
+            :: !bugs
+    in
+    oracle_check "heuristic" heur.Wr_sched.Modulo.schedule;
+    oracle_check "exact" exact.Wr_sched.Exact.schedule;
+    if exact_ii > heur_ii then
+      bugs :=
+        Printf.sprintf "exact backend regressed the II (%d > heuristic %d)" exact_ii heur_ii
+        :: !bugs;
+    if exact_ii < exact.Wr_sched.Exact.mii then
+      bugs :=
+        Printf.sprintf "exact II %d below the MII %d — the MII bound or the search is wrong"
+          exact_ii exact.Wr_sched.Exact.mii
+        :: !bugs;
+    let entry =
+      {
+        dcase = case;
+        dloop = loop;
+        dconfig = config;
+        dcycle_model = cycle_model;
+        dmii = exact.Wr_sched.Exact.mii;
+        dheur_ii = heur_ii;
+        dexact_ii = exact_ii;
+        dstatus = exact.Wr_sched.Exact.status;
+        dbugs = List.rev !bugs;
+      }
+    in
+    if entry.dbugs <> [] then bug_cases := entry :: !bug_cases
+    else if exact_ii < heur_ii then gaps := entry :: !gaps
+    else incr agreed;
+    (match exact.Wr_sched.Exact.status with
+    | Wr_sched.Exact.Proved_optimal -> incr proved
+    | Wr_sched.Exact.Fallback -> incr timeouts
+    | Wr_sched.Exact.Feasible_unproved -> ());
+    on_case case
+  done;
+  {
+    dcases = cases;
+    dagreed = !agreed;
+    dproved = !proved;
+    dtimeouts = !timeouts;
+    dgaps = List.rev !gaps;
+    dbug_cases = List.rev !bug_cases;
+  }
+
+let diff_reproducer d =
+  let source =
+    match Text_format.print d.dloop with
+    | s -> s
+    | exception Invalid_argument _ ->
+        Printf.sprintf "# loop %s is not representable in the text format\n"
+          d.dloop.Loop.name
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "# backend-diff case %d: %s, %s — mii %d, heuristic II %d, exact II %d (%s)"
+        d.dcase (Config.label d.dconfig)
+        (Cycle_model.to_string d.dcycle_model)
+        d.dmii d.dheur_ii d.dexact_ii
+        (match d.dstatus with
+        | Wr_sched.Exact.Proved_optimal -> "proved optimal"
+        | Wr_sched.Exact.Feasible_unproved -> "improved, unproved"
+        | Wr_sched.Exact.Fallback -> "timeout");
+      (match d.dbugs with
+      | [] -> "# optimality gap (logged lead, not a bug)"
+      | bugs -> String.concat "\n" (List.map (fun b -> "# BUG: " ^ b) bugs));
+      source;
+    ]
+
+let diff_summary s =
+  Printf.sprintf
+    "backend-diff: %d cases — %d agreed, %d optimality gap(s) (exact beat the heuristic), \
+     %d proved optimal, %d exact-search timeout(s), %d bug(s)"
+    s.dcases s.dagreed (List.length s.dgaps) s.dproved s.dtimeouts
+    (List.length s.dbug_cases)
+
 let reproducer f =
   let source =
     (* Generator loops are source-level and print; guard anyway so a

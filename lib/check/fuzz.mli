@@ -44,3 +44,47 @@ val reproducer : failure -> string
 
 val summary : stats -> string
 (** One line: case counts and failure count. *)
+
+(** {2 Backend differential mode}
+
+    Seeded small loops scheduled by both the heuristic and the exact
+    backend, every discrepancy triaged: [exact < heuristic] with both
+    schedules passing the independent oracle is a logged optimality gap
+    (a lead on heuristic quality, not a bug); a heuristic or exact
+    schedule failing the oracle, an exact II above the heuristic's, or
+    an exact II below the MII is a bug.  No wall budgets are involved,
+    so a case replays bit-identically from (seed, index). *)
+
+type diff_case = {
+  dcase : int;
+  dloop : Wr_ir.Loop.t;
+  dconfig : Wr_machine.Config.t;
+  dcycle_model : Wr_machine.Cycle_model.t;
+  dmii : int;
+  dheur_ii : int;
+  dexact_ii : int;
+  dstatus : Wr_sched.Exact.status;
+  dbugs : string list;  (** empty for a clean case or a pure gap lead *)
+}
+
+type diff_stats = {
+  dcases : int;
+  dagreed : int;  (** equal II, both valid *)
+  dproved : int;  (** cases where the exact backend proved optimality *)
+  dtimeouts : int;  (** exact search exhausted its node budget *)
+  dgaps : diff_case list;  (** exact beat the heuristic; logged leads *)
+  dbug_cases : diff_case list;
+}
+
+val run_backend_diff :
+  ?on_case:(int -> unit) ->
+  ?max_nodes:int ->
+  seed:int64 ->
+  cases:int ->
+  unit ->
+  diff_stats
+(** [max_nodes] (default 400_000) bounds each exact II attempt. *)
+
+val diff_reproducer : diff_case -> string
+
+val diff_summary : diff_stats -> string

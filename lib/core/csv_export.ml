@@ -54,5 +54,37 @@ let fig9_rows (t : (Wr_cost.Sia.generation * Tradeoff.point list) list) =
         points)
     t
 
+let fig3_families_header = "family" :: fig3_header
+
+let fig3_families_rows results =
+  List.concat_map (fun (family, t) -> List.map (fun row -> family :: row) (fig3_rows t)) results
+
+let fig9_families_header = "family" :: fig9_header
+
+let fig9_families_rows results =
+  List.concat_map (fun (family, t) -> List.map (fun row -> family :: row) (fig9_rows t)) results
+
+let gap_header =
+  [ "family"; "loop"; "index"; "config"; "ops"; "mii"; "heur_ii"; "exact_ii"; "gap";
+    "status"; "nodes" ]
+
+let gap_rows (t : Gap_study.t) =
+  List.map
+    (fun (r : Gap_study.row) ->
+      [
+        r.Gap_study.family;
+        r.Gap_study.loop_name;
+        string_of_int r.Gap_study.index;
+        Config.label_short r.Gap_study.config;
+        string_of_int r.Gap_study.ops;
+        string_of_int r.Gap_study.mii;
+        string_of_int r.Gap_study.heur_ii;
+        string_of_int r.Gap_study.exact_ii;
+        string_of_int r.Gap_study.gap;
+        Gap_study.status_string r.Gap_study.status;
+        string_of_int r.Gap_study.nodes;
+      ])
+    t.Gap_study.rows
+
 let to_string ~header rows =
   String.concat "" (List.map (fun row -> String.concat "," row ^ "\n") (header :: rows))

@@ -14,6 +14,23 @@ val fig9_header : string list
 
 val fig9_rows : (Wr_cost.Sia.generation * Tradeoff.point list) list -> string list list
 
+val fig3_families_header : string list
+
+val fig3_families_rows : (string * Spill_study.t) list -> string list list
+(** {!fig3_rows} with a leading [family] column, one block per family
+    in input order. *)
+
+val fig9_families_header : string list
+
+val fig9_families_rows :
+  (string * (Wr_cost.Sia.generation * Tradeoff.point list) list) list -> string list list
+
+val gap_header : string list
+
+val gap_rows : Gap_study.t -> string list list
+(** One row per (family, loop, config) point of the optimality-gap
+    study. *)
+
 val to_string : header:string list -> string list list -> string
 (** The full file contents: header line plus one line per row, each
     comma-joined and newline-terminated. *)

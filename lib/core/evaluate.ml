@@ -244,7 +244,7 @@ let loop_on_impl ?plan_key (c : Config.t) ~cycle_model ~registers (loop : Loop.t
          modulo scheduler once at a non-overlapping II to get the real
          span. *)
       let r =
-        Wr_sched.Modulo.run resource ~cycle_model ~min_ii:resource_free prepared.Loop.ddg
+        Wr_sched.Backend.run resource ~cycle_model ~min_ii:resource_free prepared.Loop.ddg
       in
       if verifying then
         Wr_check.Oracle.fail_if_any

@@ -1,0 +1,132 @@
+module Config = Wr_machine.Config
+module Cycle_model = Wr_machine.Cycle_model
+module Resource = Wr_machine.Resource
+module Loop = Wr_ir.Loop
+module Ddg = Wr_ir.Ddg
+module Exact = Wr_sched.Exact
+module Modulo = Wr_sched.Modulo
+module Schedule = Wr_sched.Schedule
+module Pool = Wr_util.Pool
+module Obs = Wr_obs.Obs
+
+type row = {
+  family : string;
+  loop_name : string;
+  index : int;
+  config : Config.t;
+  ops : int;
+  mii : int;
+  heur_ii : int;
+  exact_ii : int;
+  gap : int;
+  status : Exact.status;
+  nodes : int;
+}
+
+type t = {
+  rows : row list;
+  points : int;
+  proved_optimal : int;
+  improved : int;
+  fallback : int;
+  gap_total : int;
+  max_gap : int;
+  nodes_total : int;
+}
+
+(* The replication/widening mixes where the heuristic has real work to
+   do: the 1w1 and the very wide machines schedule almost everything at
+   the MII, which proves nothing about heuristic quality. *)
+let default_configs =
+  List.map (fun (x, y) -> Config.xwy ~x ~y ()) [ (2, 1); (1, 2); (4, 1); (2, 2); (1, 4) ]
+
+let status_string = function
+  | Exact.Proved_optimal -> "proved_optimal"
+  | Exact.Feasible_unproved -> "improved_unproved"
+  | Exact.Fallback -> "timeout"
+
+let point ~cycle_model ~max_nodes ?budget_ms (family, index, loop, config) =
+  let wide, _ = Wr_widen.Transform.widen loop ~width:config.Config.width in
+  let ddg = wide.Loop.ddg in
+  let resource = Resource.of_config config in
+  let r = Exact.solve resource ~cycle_model ~max_nodes ?budget_ms ddg in
+  let heur_ii = r.Exact.base.Modulo.schedule.Schedule.ii in
+  {
+    family;
+    loop_name = loop.Loop.name;
+    index;
+    config;
+    ops = Ddg.num_ops ddg;
+    mii = r.Exact.mii;
+    heur_ii;
+    exact_ii = r.Exact.ii;
+    gap = heur_ii - r.Exact.ii;
+    status = r.Exact.status;
+    nodes = r.Exact.nodes;
+  }
+
+let run ?(configs = default_configs) ?(cycle_model = Cycle_model.Cycles_4)
+    ?(max_nodes = 200_000) ?budget_ms families =
+  Obs.span "gap/run" @@ fun () ->
+  let points =
+    List.concat_map
+      (fun (family, loops) ->
+        List.concat
+          (Array.to_list
+             (Array.mapi
+                (fun i loop -> List.map (fun c -> (family, i, loop, c)) configs)
+                loops)))
+      families
+  in
+  (* One point per pool task; order-preserving map keeps the row order
+     (families, then suite order, then config order) deterministic for
+     the CSV no matter the pool size — and with no wall budget by
+     default, the node budget alone cuts the search, so every cell
+     (status and node count included) is bit-identical for any
+     [--jobs]. *)
+  let rows = Pool.parallel_list_map points ~f:(point ~cycle_model ~max_nodes ?budget_ms) in
+  let count p = List.length (List.filter p rows) in
+  {
+    rows;
+    points = List.length rows;
+    proved_optimal = count (fun r -> r.status = Exact.Proved_optimal);
+    improved = count (fun r -> r.gap > 0);
+    fallback = count (fun r -> r.status = Exact.Fallback);
+    gap_total = List.fold_left (fun acc r -> acc + r.gap) 0 rows;
+    max_gap = List.fold_left (fun acc r -> Stdlib.max acc r.gap) 0 rows;
+    nodes_total = List.fold_left (fun acc r -> acc + r.nodes) 0 rows;
+  }
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "HRMS-vs-optimal II gap (exact branch-and-bound backend as the reference)\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-12s %7s %8s %9s %8s %8s %8s\n" "family" "config" "points"
+       "proved" "improved" "timeout" "gap_sum" "gap_max");
+  let keys =
+    List.sort_uniq compare (List.map (fun r -> (r.family, Config.label r.config)) t.rows)
+  in
+  List.iter
+    (fun (family, label) ->
+      let rs =
+        List.filter (fun r -> r.family = family && Config.label r.config = label) t.rows
+      in
+      let count p = List.length (List.filter p rs) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-12s %7d %8d %9d %8d %8d %8d\n" family label
+           (List.length rs)
+           (count (fun r -> r.status = Exact.Proved_optimal))
+           (count (fun r -> r.gap > 0))
+           (count (fun r -> r.status = Exact.Fallback))
+           (List.fold_left (fun acc r -> acc + r.gap) 0 rs)
+           (List.fold_left (fun acc r -> Stdlib.max acc r.gap) 0 rs)))
+    keys;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\ntotal: %d points — %d proved optimal (%.1f%%), %d improved by the exact backend, \
+        %d timed out, %d search nodes\n"
+       t.points t.proved_optimal
+       (100.0 *. float_of_int t.proved_optimal /. float_of_int (Stdlib.max 1 t.points))
+       t.improved t.fallback t.nodes_total);
+  Buffer.contents buf

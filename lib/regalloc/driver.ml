@@ -1,6 +1,7 @@
 module Ddg = Wr_ir.Ddg
 module Schedule = Wr_sched.Schedule
 module Modulo = Wr_sched.Modulo
+module Backend = Wr_sched.Backend
 module Obs = Wr_obs.Obs
 
 type success = {
@@ -23,7 +24,7 @@ type policy = Combined | Spill_only | Escalate_only
    that a crash here degrades one point instead of killing a study. *)
 let probe resource ~cycle_model ~min_ii g =
   Wr_util.Fault.hit "sched";
-  let result = Modulo.run resource ~cycle_model ~min_ii g in
+  let result = Backend.run resource ~cycle_model ~min_ii g in
   Wr_util.Fault.hit "alloc";
   let lifetimes, alloc =
     Obs.span "alloc" (fun () ->

@@ -1,0 +1,87 @@
+module Resource = Wr_machine.Resource
+module Cycle_model = Wr_machine.Cycle_model
+module Ddg = Wr_ir.Ddg
+module Pool = Wr_util.Pool
+module Env = Wr_util.Env
+
+type kind = Heuristic | Exact | Portfolio
+
+let to_string = function
+  | Heuristic -> "heuristic"
+  | Exact -> "exact"
+  | Portfolio -> "portfolio"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "heuristic" | "hrms" -> Some Heuristic
+  | "exact" | "bnb" -> Some Exact
+  | "portfolio" | "race" -> Some Portfolio
+  | _ -> None
+
+let all = [ Heuristic; Exact; Portfolio ]
+
+(* Selection is process-global (studies fan points out over the pool;
+   a per-call parameter would have to thread through every driver) and
+   atomic so a CLI/env race with worker domains reads a whole value. *)
+let current_kind : kind Atomic.t =
+  let initial =
+    match Sys.getenv_opt "WR_SCHED_BACKEND" with
+    | None | Some "" -> Heuristic
+    | Some s -> (
+        match of_string s with
+        | Some k -> k
+        | None ->
+            Env.warn_invalid ~name:"WR_SCHED_BACKEND" ~value:s
+              ~expected:"heuristic|exact|portfolio" ~default:"heuristic";
+            Heuristic)
+  in
+  Atomic.make initial
+
+let set k = Atomic.set current_kind k
+let current () = Atomic.get current_kind
+
+(* Exact-lane budgets when the exact backend runs inside the study
+   pipeline (as opposed to the gap study, which passes its own): small
+   enough that a pathological refutation cannot stall a point, large
+   enough to catch the common one-II improvements. *)
+let exact_max_nodes = 200_000
+let exact_budget_ms = 50
+
+let refined (r : Exact.t) : Modulo.result =
+  { r.base with Modulo.schedule = r.schedule }
+
+let run resource ~cycle_model ?budget_ratio ?min_ii ?max_ii ?ordering g =
+  match Atomic.get current_kind with
+  | Heuristic ->
+      (* The default: a verbatim heuristic call, so every study CSV is
+         byte-identical to the pre-seam pipeline. *)
+      Modulo.run resource ~cycle_model ?budget_ratio ?min_ii ?max_ii ?ordering g
+  | Exact ->
+      let base = Modulo.run resource ~cycle_model ?budget_ratio ?min_ii ?max_ii ?ordering g in
+      refined
+        (Exact.solve resource ~cycle_model ~max_nodes:exact_max_nodes
+           ~budget_ms:exact_budget_ms ?min_ii ?max_ii ~base g)
+  | Portfolio ->
+      (* Race both lanes on the pool: the heuristic answers fast, the
+         exact lane refines or confirms when it finishes inside its
+         budget.  The merge is value-deterministic — the exact result
+         is taken only when it strictly beats the heuristic II, and
+         ties keep the heuristic schedule. *)
+      let lanes =
+        Pool.parallel_list_map [ `H; `E ] ~f:(fun lane ->
+            match lane with
+            | `H ->
+                `H (Modulo.run resource ~cycle_model ?budget_ratio ?min_ii ?max_ii ?ordering g)
+            | `E ->
+                `E
+                  (Exact.solve resource ~cycle_model ~max_nodes:exact_max_nodes
+                     ~budget_ms:exact_budget_ms ?min_ii ?max_ii g))
+      in
+      let heur = List.find_map (function `H r -> Some r | _ -> None) lanes in
+      let exact = List.find_map (function `E r -> Some r | _ -> None) lanes in
+      let heur = Option.get heur and exact = Option.get exact in
+      if
+        exact.Exact.status <> Exact.Fallback
+        && exact.Exact.schedule.Schedule.ii < heur.Modulo.schedule.Schedule.ii
+      then { heur with Modulo.schedule = exact.Exact.schedule }
+      else heur

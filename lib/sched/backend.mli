@@ -1,0 +1,50 @@
+(** Scheduler backend seam.
+
+    Every pipeline consumer (the register-allocation driver, the
+    unschedulable fallback in [Core.Evaluate], the CLI schedule
+    command) requests schedules through {!run} instead of calling
+    {!Modulo.run} directly, so the scheduler implementation is
+    swappable per process:
+
+    {ul
+    {- [Heuristic] (default) — the HRMS-flavoured iterative modulo
+       scheduler, a verbatim {!Modulo.run} call: study output is
+       byte-identical to the pre-seam pipeline;}
+    {- [Exact] — heuristic first, then {!Exact.solve} refines it or
+       proves it optimal within a node + wall budget, falling back to
+       the heuristic result on expiry;}
+    {- [Portfolio] — both lanes race on {!Wr_util.Pool}; the exact
+       result wins only when it strictly beats the heuristic II.}}
+
+    Selection: {!set} (wired to [--backend] in the CLIs) or the
+    [WR_SCHED_BACKEND] environment variable
+    ([heuristic|exact|portfolio], malformed values warn once and keep
+    the default). *)
+
+type kind = Heuristic | Exact | Portfolio
+
+val to_string : kind -> string
+
+val of_string : string -> kind option
+(** Accepts the canonical names plus the [hrms]/[bnb]/[race] aliases,
+    case-insensitively. *)
+
+val all : kind list
+
+val set : kind -> unit
+val current : unit -> kind
+
+val run :
+  Wr_machine.Resource.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  ?budget_ratio:int ->
+  ?min_ii:int ->
+  ?max_ii:int ->
+  ?ordering:[ `Ims | `Sms ] ->
+  Wr_ir.Ddg.t ->
+  Modulo.result
+(** Schedule through the selected backend.  The signature (and with
+    the default backend, the behaviour) is exactly {!Modulo.run}'s;
+    non-default backends only ever substitute a schedule with an II no
+    worse than the heuristic's, so downstream II-monotonicity
+    assumptions hold for every backend. *)

@@ -102,23 +102,46 @@ let place t cls ~time ~occupancy =
     done
   end
 
+(* A remove that does not match a prior place would silently underflow
+   the occupancy counts (and corrupt every later can_place answer), so
+   it fails loudly — and diagnostically: the message names the class,
+   the requested time and its kernel slot, the occupancy, the II, and
+   the first slot whose count is too small to support the removal. *)
+let remove_underflow t cls ~time ~occupancy ~slot ~have ~need =
+  invalid_arg
+    (Printf.sprintf
+       "Mrt.remove: no matching reservation (%s, time %d -> kernel slot %d, occupancy %d, \
+        II %d): slot %d holds %d, removal needs %d"
+       (match cls with Opcode.Bus -> "bus" | Opcode.Fpu -> "fpu")
+       time (norm t time) occupancy t.ii slot have need)
+
 let remove t cls ~time ~occupancy =
   let r = row t cls in
   let full = occupancy / t.ii and rem = occupancy mod t.ii in
   if full = 0 then begin
     let start = norm t time in
-    let rec filled k = k >= rem || (r.((start + k) mod t.ii) >= 1 && filled (k + 1)) in
-    if not (filled 0) then invalid_arg "Mrt.remove: empty slot";
+    let rec check k =
+      if k < rem then begin
+        let s = (start + k) mod t.ii in
+        if r.(s) < 1 then remove_underflow t cls ~time ~occupancy ~slot:s ~have:r.(s) ~need:1;
+        check (k + 1)
+      end
+    in
+    check 0;
     for k = 0 to rem - 1 do
       let s = (start + k) mod t.ii in
       r.(s) <- r.(s) - 1
     done
   end
   else begin
-    let rec filled s =
-      s >= t.ii || (r.(s) >= demand t ~time ~occupancy s && filled (s + 1))
+    let rec check s =
+      if s < t.ii then begin
+        let need = demand t ~time ~occupancy s in
+        if r.(s) < need then remove_underflow t cls ~time ~occupancy ~slot:s ~have:r.(s) ~need;
+        check (s + 1)
+      end
     in
-    if not (filled 0) then invalid_arg "Mrt.remove: empty slot";
+    check 0;
     for s = 0 to t.ii - 1 do
       r.(s) <- r.(s) - demand t ~time ~occupancy s
     done

@@ -86,7 +86,17 @@ let validate g resource t =
         (match !res_error with Some msg -> Error msg | None -> Ok ())
   end
 
-let cycles t ~trip_count = t.ii * trip_count
+(* Steady state launches one iteration per II; the last iteration
+   retires [span] cycles after its launch, so a T-trip execution takes
+   (T-1)*II + span — which degenerates correctly at the edges the
+   plain II*T accounting got wrong: 0 trips cost 0 (II*T said 0 too,
+   but only by accident of multiplication), and a single trip costs the
+   full fill+drain span of one iteration, not one II. *)
+let cycles t ~trip_count =
+  if trip_count < 0 then
+    invalid_arg (Printf.sprintf "Schedule.cycles: negative trip_count %d" trip_count)
+  else if trip_count = 0 || Array.length t.times = 0 then 0
+  else ((trip_count - 1) * t.ii) + span t
 
 let kernel_view g resource t =
   let buf = Buffer.create 1024 in

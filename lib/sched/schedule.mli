@@ -30,9 +30,16 @@ val validate :
     slot over-subscribes a resource class (occupancy included). *)
 
 val cycles : t -> trip_count:int -> int
-(** Execution cycles attributed to the loop: [II * trip_count] (the
-    paper's accounting — prologue/epilogue are amortized over the
-    long-running inner loops). *)
+(** Execution cycles attributed to the loop:
+    [(trip_count - 1) * II + span] — the paper's steady-state [II]
+    per iteration, plus the fill/drain span of the last iteration.
+    Degenerate trips are exact rather than accidental: 0 trips (a loop
+    widened past its trip count) cost 0 cycles, 1 trip costs the span
+    of a single un-overlapped iteration.  Raises [Invalid_argument] on
+    a negative trip count.  (The study drivers amortize prologue/
+    epilogue away and charge [II * trip_count] inline, as the paper
+    does; this accessor is the micro-architecturally honest count used
+    by consumers that care about short trips.) *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,208 +1,10 @@
-module Ddg = Wr_ir.Ddg
-module Dependence = Wr_ir.Dependence
-module Operation = Wr_ir.Operation
-module Opcode = Wr_ir.Opcode
-module Cycle_model = Wr_machine.Cycle_model
-module Resource = Wr_machine.Resource
-module Obs = Wr_obs.Obs
+(* Compatibility wrapper: the backtracking search grew into the exact
+   backend ({!Exact}); this module keeps the historical [Search]
+   entry points alive for existing cross-check tests and callers. *)
 
-type outcome = Feasible of Schedule.t | Infeasible | Gave_up
+type outcome = Exact.outcome = Feasible of Schedule.t | Infeasible | Gave_up
 
-exception Out_of_budget
+let at_ii resource ~cycle_model ~ii ?max_nodes ?scratch g =
+  Exact.at_ii resource ~cycle_model ~ii ?max_nodes ?scratch g
 
-let neg_inf = min_int / 4
-
-(* The scratch matrix must be at least n x n; rows are reset here, so a
-   caller (min_ii) can hand the same buffer to every II attempt instead
-   of paying an O(n^2) allocation per retry. *)
-let path_matrix ?scratch n =
-  match scratch with
-  | Some m when Array.length m >= n && (n = 0 || Array.length m.(0) >= n) ->
-      for i = 0 to n - 1 do
-        Array.fill m.(i) 0 n neg_inf
-      done;
-      m
-  | _ -> Array.make_matrix n n neg_inf
-
-let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000) ?scratch g =
-  let n = Ddg.num_ops g in
-  if n = 0 then Feasible (Schedule.make ~ii ~times:[||] ~cycle_model)
-  else begin
-    (* Assignment order: critical recurrences, then height — the same
-       priority the heuristic uses, which keeps windows tight early. *)
-    let critical = Mii.critical_recurrence_ops ~cycle_model g ~ii:(Mii.rec_mii ~cycle_model g) in
-    let h = Modulo.heights ~cycle_model g ~ii in
-    let priority = Array.init n (fun i -> i) in
-    Array.sort
-      (fun a b ->
-        match compare critical.(b) critical.(a) with
-        | 0 -> ( match compare h.(b) h.(a) with 0 -> compare a b | c -> c)
-        | c -> c)
-      priority;
-    (* Assignment order: traverse each weakly-connected component
-       contiguously (BFS over undirected adjacency from the
-       highest-priority seed), so every operation after a component's
-       anchor has an assigned neighbour and therefore a finite
-       dependence window. *)
-    let order = Array.make n 0 in
-    let visited = Array.make n false in
-    let pos = ref 0 in
-    let neighbours v =
-      List.map (fun (e : Dependence.t) -> e.dst) (Ddg.succs g v)
-      @ List.map (fun (e : Dependence.t) -> e.src) (Ddg.preds g v)
-    in
-    Array.iter
-      (fun seed ->
-        if not visited.(seed) then begin
-          let queue = Queue.create () in
-          Queue.add seed queue;
-          visited.(seed) <- true;
-          while not (Queue.is_empty queue) do
-            let v = Queue.pop queue in
-            order.(!pos) <- v;
-            incr pos;
-            List.iter
-              (fun w ->
-                if not visited.(w) then begin
-                  visited.(w) <- true;
-                  Queue.add w queue
-                end)
-              (neighbours v)
-          done
-        end)
-      priority;
-    let time = Array.make n (-1) in
-    let assigned = Array.make n false in
-    let mrt = Mrt.create ~ii resource in
-    let nodes = ref 0 in
-    let cls i = Opcode.resource_class (Ddg.op g i).Operation.opcode in
-    let occ i = Cycle_model.occupancy cycle_model (Ddg.op g i).Operation.opcode in
-    (* All-pairs longest dependence paths at this II (max-plus
-       Floyd-Warshall over weights [delay - II*distance]; no positive
-       cycles at II >= RecMII).  Windows below use the TRANSITIVE
-       bounds — an operation's window accounts for chains through
-       still-unassigned intermediates, which direct-neighbour bounds
-       miss. *)
-    let path = path_matrix ?scratch n in
-    for v = 0 to n - 1 do
-      path.(v).(v) <- 0
-    done;
-    let view = Ddg.edge_view g in
-    let delays = Mii.edge_delays ~cycle_model g in
-    for e = 0 to view.Ddg.n_edges - 1 do
-      let w = delays.(e) - (ii * view.Ddg.e_dist.(e)) in
-      if w > path.(view.Ddg.e_src.(e)).(view.Ddg.e_dst.(e)) then
-        path.(view.Ddg.e_src.(e)).(view.Ddg.e_dst.(e)) <- w
-    done;
-    for k = 0 to n - 1 do
-      for i = 0 to n - 1 do
-        if path.(i).(k) > neg_inf then
-          for j = 0 to n - 1 do
-            if path.(k).(j) > neg_inf && path.(i).(k) + path.(k).(j) > path.(i).(j) then
-              path.(i).(j) <- path.(i).(k) + path.(k).(j)
-          done
-      done
-    done;
-    (* Window of [op] given the assigned set: times may go negative (a
-       producer assigned after its consumer sits below it); the final
-       schedule is shifted to non-negative.  An op with no dependence
-       relation to any assigned op anchors a fresh region at
-       [0, II-1]. *)
-    let window op =
-      let lo = ref None and hi = ref None in
-      for v = 0 to n - 1 do
-        if assigned.(v) then begin
-          if path.(v).(op) > neg_inf then
-            lo :=
-              Some
-                (Stdlib.max (Option.value ~default:min_int !lo) (time.(v) + path.(v).(op)));
-          if path.(op).(v) > neg_inf then
-            hi :=
-              Some
-                (Stdlib.min (Option.value ~default:max_int !hi) (time.(v) - path.(op).(v)))
-        end
-      done;
-      match (!lo, !hi) with
-      | None, None -> (0, ii - 1)
-      | Some lo, None -> (lo, lo + ii - 1)
-      | None, Some hi -> (hi - ii + 1, hi)
-      | Some lo, Some hi -> (lo, Stdlib.min hi (lo + ii - 1))
-    in
-    let rec assign k =
-      if k = n then true
-      else begin
-        let op = order.(k) in
-        let lo, hi = window op in
-        let rec try_time t =
-          if t > hi then false
-          else begin
-            incr nodes;
-            if !nodes > max_nodes then raise Out_of_budget;
-            if Mrt.can_place mrt (cls op) ~time:t ~occupancy:(occ op) then begin
-              Mrt.place mrt (cls op) ~time:t ~occupancy:(occ op);
-              time.(op) <- t;
-              assigned.(op) <- true;
-              if assign (k + 1) then true
-              else begin
-                Mrt.remove mrt (cls op) ~time:t ~occupancy:(occ op);
-                assigned.(op) <- false;
-                try_time (t + 1)
-              end
-            end
-            else try_time (t + 1)
-          end
-        in
-        try_time lo
-      end
-    in
-    let flush outcome_counter =
-      if Obs.enabled () then begin
-        Obs.incr "search/at_ii";
-        Obs.add "search/nodes" !nodes;
-        Obs.incr outcome_counter
-      end
-    in
-    match assign 0 with
-    | exception Out_of_budget ->
-        flush "search/gave_up";
-        Gave_up
-    | false ->
-        flush "search/infeasible";
-        Infeasible
-    | true -> (
-        flush "search/feasible";
-        (* Normalize to non-negative times: a uniform shift preserves
-           dependences and rotates the reservation table consistently. *)
-        let lowest = Array.fold_left Stdlib.min time.(0) time in
-        let shift = if lowest < 0 then -lowest else 0 in
-        let time = Array.map (fun t -> t + shift) time in
-        let schedule = Schedule.make ~ii ~times:time ~cycle_model in
-        match Schedule.validate g resource schedule with
-        | Ok () -> Feasible schedule
-        | Error msg -> failwith ("Search.at_ii: produced an invalid schedule: " ^ msg))
-  end
-
-let min_ii resource ~cycle_model ?max_nodes g =
-  let mii = Mii.mii resource ~cycle_model g in
-  (* One scratch path matrix shared by all (up to 32) II attempts. *)
-  let n = Ddg.num_ops g in
-  let scratch = Array.make_matrix n n neg_inf in
-  let rec go ii attempts_left =
-    (* Scheduler-attempt boundary: each at_ii call is already bounded
-       by max_nodes, so a wall-clock budget only needs to fire between
-       attempts. *)
-    Wr_util.Deadline.check ();
-    if attempts_left = 0 then None
-    else
-      match at_ii resource ~cycle_model ~ii ?max_nodes ~scratch g with
-      | Feasible s -> Some (ii, s)
-      | Infeasible | Gave_up -> go (ii + 1) (attempts_left - 1)
-  in
-  let r = Obs.span "search/min_ii" (fun () -> go mii 32) in
-  if Obs.enabled () then begin
-    Obs.incr "search/runs";
-    match r with
-    | Some (ii, _) -> Obs.observe "search/ii_minus_mii" (ii - mii)
-    | None -> Obs.incr "search/exhausted"
-  end;
-  r
+let min_ii = Exact.min_ii

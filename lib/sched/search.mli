@@ -1,20 +1,11 @@
-(** Backtracking modulo scheduler: exhaustive window search with a node
-    budget, used to cross-check the heuristic scheduler's II quality on
-    small loops.
+(** Historical entry points of the backtracking modulo scheduler, now a
+    thin wrapper over the exact backend ({!Exact}).  [at_ii] performs
+    the exhaustive branch-and-bound search (so [Infeasible] is a proof
+    and [Gave_up] means the node budget ran out); [min_ii] is the
+    from-scratch II climb used to cross-check the heuristic scheduler's
+    II quality on small loops. *)
 
-    The search assigns operations in priority order; each operation
-    tries every slot of its current dependence window (clipped to II
-    consecutive slots) that the reservation table admits, and
-    backtracks on dead ends.  [`Feasible] results are definitive (the
-    schedule is validated); [`Infeasible] means no schedule exists
-    {e within the explored windows}; [`Gave_up] means the node budget
-    ran out.  On the small graphs this is meant for (tens of
-    operations) the search is effectively exhaustive. *)
-
-type outcome =
-  | Feasible of Schedule.t
-  | Infeasible
-  | Gave_up
+type outcome = Exact.outcome = Feasible of Schedule.t | Infeasible | Gave_up
 
 val at_ii :
   Wr_machine.Resource.t ->
@@ -24,11 +15,7 @@ val at_ii :
   ?scratch:int array array ->
   Wr_ir.Ddg.t ->
   outcome
-(** Search for a schedule at exactly the given II.  [max_nodes]
-    (default 200_000) bounds backtracking nodes.  [scratch], if given,
-    is an at-least [n x n] matrix reused (and fully overwritten) for
-    the all-pairs path bounds, so a retry loop like {!min_ii} avoids
-    re-allocating O(n{^ 2}) per attempt. *)
+(** See {!Exact.at_ii}. *)
 
 val min_ii :
   Wr_machine.Resource.t ->
@@ -36,6 +23,4 @@ val min_ii :
   ?max_nodes:int ->
   Wr_ir.Ddg.t ->
   (int * Schedule.t) option
-(** Smallest II (starting at the MII) at which {!at_ii} finds a
-    schedule; [None] if every attempt up to a generous bound gave
-    up. *)
+(** See {!Exact.min_ii}. *)

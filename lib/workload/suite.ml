@@ -33,6 +33,12 @@ let real () =
 
 let families () = [ ("synthetic", perfect_club_like ()); ("real", real ()) ]
 
+let families_for ~sample:k =
+  [
+    ("synthetic", (match k with None -> perfect_club_like () | Some k -> sample k));
+    ("real", real ());
+  ]
+
 let statistics loops =
   let total_ops = ref 0 and total_loops = Array.length loops in
   let opcode_counts = Hashtbl.create 16 in

@@ -27,6 +27,14 @@ val families : unit -> (string * Wr_ir.Loop.t array) list
     report widening results per family so compactability claims can be
     compared between generated and real loops. *)
 
+val families_for : sample:int option -> (string * Wr_ir.Loop.t array) list
+(** {!families} with the synthetic family subsampled like {!sample}
+    ([None] keeps the full 1180); the real family is always complete
+    (it is already small).  This is the cut the bench drivers use so a
+    [-s N] run's synthetic family coincides exactly with its main
+    suite — per-family rows then reuse the evaluation cache instead of
+    recomputing the suite. *)
+
 val statistics : Wr_ir.Loop.t array -> string
 (** Human-readable aggregate statistics (op counts, op mix, recurrence
     and compactability fractions) — printed by the bench harness so the

@@ -36,6 +36,23 @@ let test_fig9 () =
     (Core.Csv_export.to_string ~header:Core.Csv_export.fig9_header
        (Core.Csv_export.fig9_rows t))
 
+(* Per-family splits: the synthetic family is the sampled suite itself
+   (and shares its evaluation cache), "real" is the hand-written kernel
+   family.  Sample kept at 120 to match the harness smoke run. *)
+let families = lazy (Wr_workload.Suite.families_for ~sample:(Some 120))
+
+let test_fig3_families () =
+  let fams = Core.Spill_study.run_families ~suite_id (Lazy.force families) in
+  check_golden "fig3_families"
+    (Core.Csv_export.to_string ~header:Core.Csv_export.fig3_families_header
+       (Core.Csv_export.fig3_families_rows fams))
+
+let test_fig9_families () =
+  let fams = Core.Tradeoff.figure9_families ~suite_id (Lazy.force families) in
+  check_golden "fig9_families"
+    (Core.Csv_export.to_string ~header:Core.Csv_export.fig9_families_header
+       (Core.Csv_export.fig9_families_rows fams))
+
 let () =
   Alcotest.run "golden"
     [
@@ -44,5 +61,7 @@ let () =
           Alcotest.test_case "fig2" `Slow test_fig2;
           Alcotest.test_case "fig3" `Slow test_fig3;
           Alcotest.test_case "fig9" `Slow test_fig9;
+          Alcotest.test_case "fig3 families" `Slow test_fig3_families;
+          Alcotest.test_case "fig9 families" `Slow test_fig9_families;
         ] );
     ]

@@ -356,6 +356,172 @@ let test_search_detects_infeasible () =
   | Search.Feasible _ -> Alcotest.fail "II=2 cannot fit 3 memory ops on one bus"
   | Search.Gave_up -> Alcotest.fail "budget too small for a 5-op loop"
 
+(* --- exact backend -------------------------------------------------------- *)
+
+module Exact = Wr_sched.Exact
+module Backend = Wr_sched.Backend
+
+let test_exact_refines_kernels () =
+  (* The refinement invariants on every kernel: MII <= exact II <=
+     heuristic II, and the schedule passes both the internal validator
+     and the independent oracle. *)
+  List.iter
+    (fun (name, loop) ->
+      let g = loop.Loop.ddg in
+      let r = Exact.solve resource_1w1 ~cycle_model:cm g in
+      let mii = Mii.mii resource_1w1 ~cycle_model:cm g in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: II %d >= MII %d" name r.Exact.ii mii)
+        true (r.Exact.ii >= mii);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: II %d <= heuristic %d" name r.Exact.ii
+           r.Exact.base.Modulo.schedule.Schedule.ii)
+        true
+        (r.Exact.ii <= r.Exact.base.Modulo.schedule.Schedule.ii);
+      (match Schedule.validate g resource_1w1 r.Exact.schedule with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (name ^ ": exact schedule invalid: " ^ m));
+      match Wr_check.Oracle.check_schedule g resource_1w1 r.Exact.schedule with
+      | [] -> ()
+      | vs -> Alcotest.fail (name ^ ": " ^ Wr_check.Oracle.to_string vs))
+    (K.all ())
+
+let test_exact_proves_kernels_optimal () =
+  (* Every handwritten kernel is schedulable at its MII on 1w1, so the
+     exact backend must prove the heuristic's result optimal. *)
+  List.iter
+    (fun (name, loop) ->
+      let r = Exact.solve resource_1w1 ~cycle_model:cm loop.Loop.ddg in
+      match r.Exact.status with
+      | Exact.Proved_optimal -> ()
+      | Exact.Feasible_unproved -> Alcotest.fail (name ^ ": optimality left unproved")
+      | Exact.Fallback -> Alcotest.fail (name ^ ": search gave up on a small kernel"))
+    (K.all ())
+
+let test_exact_budget_expired_falls_back () =
+  (* A zero wall budget expires before the first II attempt: the exact
+     backend must return the heuristic schedule unchanged (Fallback),
+     and do so deterministically under different pool sizes — the
+     stop-closure is checked in the solver itself, never in pool
+     workers. *)
+  let loop = K.banded_matvec () in
+  let g = loop.Loop.ddg in
+  (* Slow the base down so the refinement window [mii, heur_ii - 1] is
+     non-empty — a base already at the MII is proved optimal without
+     any search, budget or not. *)
+  let mii = Mii.mii resource_1w1 ~cycle_model:cm g in
+  let heur = Modulo.run resource_1w1 ~cycle_model:cm ~min_ii:(mii + 2) g in
+  let solve_under ~jobs =
+    let pool = Wr_util.Pool.create ~jobs () in
+    let results =
+      Wr_util.Pool.parallel_list_map ~pool [ 0; 1; 2 ] ~f:(fun _ ->
+          Exact.solve resource_1w1 ~cycle_model:cm ~budget_ms:0 ~base:heur g)
+    in
+    Wr_util.Pool.shutdown pool;
+    results
+  in
+  let all = solve_under ~jobs:1 @ solve_under ~jobs:4 in
+  List.iter
+    (fun (r : Exact.t) ->
+      Alcotest.(check bool) "fallback status" true (r.Exact.status = Exact.Fallback);
+      Alcotest.(check int) "heuristic II preserved" heur.Modulo.schedule.Schedule.ii
+        r.Exact.ii;
+      Alcotest.(check bool) "heuristic times preserved" true
+        (r.Exact.schedule.Schedule.times = heur.Modulo.schedule.Schedule.times))
+    all
+
+let test_exact_improves_forced_suboptimal () =
+  (* Feed the exact backend a deliberately slowed heuristic result
+     (min_ii forces II = MII + 3): the search must recover the optimum
+     and report a positive gap closed, never a regression. *)
+  let loop = K.daxpy () in
+  let g = loop.Loop.ddg in
+  let mii = Mii.mii resource_1w1 ~cycle_model:cm g in
+  let slow = Modulo.run resource_1w1 ~cycle_model:cm ~min_ii:(mii + 3) g in
+  let r = Exact.solve resource_1w1 ~cycle_model:cm ~base:slow g in
+  Alcotest.(check int) "recovers the MII" mii r.Exact.ii;
+  Alcotest.(check bool) "proved" true (r.Exact.status = Exact.Proved_optimal)
+
+let test_backend_of_string () =
+  Alcotest.(check bool) "exact" true (Backend.of_string "exact" = Some Backend.Exact);
+  Alcotest.(check bool) "bnb alias" true (Backend.of_string "BnB" = Some Backend.Exact);
+  Alcotest.(check bool) "hrms alias" true (Backend.of_string "hrms" = Some Backend.Heuristic);
+  Alcotest.(check bool) "race alias" true (Backend.of_string "race" = Some Backend.Portfolio);
+  Alcotest.(check bool) "junk rejected" true (Backend.of_string "simulated-annealing" = None)
+
+let test_backend_run_matches_modulo () =
+  (* The heuristic backend is the byte-identical default; the exact and
+     portfolio backends must never be slower than it. *)
+  let saved = Backend.current () in
+  Fun.protect
+    ~finally:(fun () -> Backend.set saved)
+    (fun () ->
+      List.iter
+        (fun (name, loop) ->
+          let g = loop.Loop.ddg in
+          let reference = Modulo.run resource_1w1 ~cycle_model:cm g in
+          Backend.set Backend.Heuristic;
+          let h = Backend.run resource_1w1 ~cycle_model:cm g in
+          Alcotest.(check bool)
+            (name ^ ": heuristic backend is Modulo.run")
+            true
+            (h.Modulo.schedule.Schedule.times = reference.Modulo.schedule.Schedule.times
+            && h.Modulo.schedule.Schedule.ii = reference.Modulo.schedule.Schedule.ii);
+          Backend.set Backend.Exact;
+          let e = Backend.run resource_1w1 ~cycle_model:cm g in
+          Alcotest.(check bool)
+            (name ^ ": exact backend no slower")
+            true
+            (e.Modulo.schedule.Schedule.ii <= reference.Modulo.schedule.Schedule.ii);
+          Backend.set Backend.Portfolio;
+          let p = Backend.run resource_1w1 ~cycle_model:cm g in
+          Alcotest.(check bool)
+            (name ^ ": portfolio no slower")
+            true
+            (p.Modulo.schedule.Schedule.ii <= reference.Modulo.schedule.Schedule.ii))
+        (K.all ()))
+
+(* --- drain/fill and diagnostic regressions -------------------------------- *)
+
+let test_schedule_cycles_short_trips () =
+  (* Regression: cycles once returned ii * trip_count, which undercounts
+     the pipeline drain for real trip counts and overcounts trip 0. *)
+  let loop = K.daxpy () in
+  let r = Modulo.run resource_1w1 ~cycle_model:cm loop.Loop.ddg in
+  let s = r.Modulo.schedule in
+  Alcotest.(check int) "trip 0 costs nothing" 0 (Schedule.cycles s ~trip_count:0);
+  Alcotest.(check int) "trip 1 is the full span" (Schedule.span s)
+    (Schedule.cycles s ~trip_count:1);
+  Alcotest.(check int) "trip 5 adds 4 IIs"
+    ((4 * s.Schedule.ii) + Schedule.span s)
+    (Schedule.cycles s ~trip_count:5);
+  Alcotest.(check bool) "negative trip rejected" true
+    (try
+       ignore (Schedule.cycles s ~trip_count:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_mrt_remove_underflow_diagnoses () =
+  (* Regression: removing a reservation that was never placed silently
+     drove the usage count negative; it must now name the offender. *)
+  let mrt = Mrt.create ~ii:4 resource_1w1 in
+  Mrt.place mrt Opcode.Bus ~time:1 ~occupancy:1;
+  Alcotest.(check bool) "phantom removal diagnosed" true
+    (try
+       Mrt.remove mrt Opcode.Bus ~time:2 ~occupancy:1;
+       false
+     with Invalid_argument msg ->
+       (* The diagnostic must identify the class and the slot. *)
+       let has sub =
+         let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0
+       in
+       has "Mrt.remove" && has "slot");
+  (* The placed reservation must still be removable afterwards. *)
+  Mrt.remove mrt Opcode.Bus ~time:1 ~occupancy:1;
+  Alcotest.(check int) "table drained" 0 (Mrt.usage mrt Opcode.Bus ~slot:1)
+
 (* --- property: every schedule is legal ------------------------------------ *)
 
 let random_loop seed =
@@ -475,6 +641,21 @@ let () =
           Alcotest.test_case "kernels at MII" `Quick test_search_kernels_at_mii;
           Alcotest.test_case "agrees with heuristic" `Slow test_search_agrees_with_heuristic;
           Alcotest.test_case "detects infeasible" `Quick test_search_detects_infeasible;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "refinement invariants" `Quick test_exact_refines_kernels;
+          Alcotest.test_case "proves kernels optimal" `Quick test_exact_proves_kernels_optimal;
+          Alcotest.test_case "budget-expired fallback" `Quick test_exact_budget_expired_falls_back;
+          Alcotest.test_case "improves forced suboptimal" `Quick
+            test_exact_improves_forced_suboptimal;
+          Alcotest.test_case "backend of_string" `Quick test_backend_of_string;
+          Alcotest.test_case "backend run vs modulo" `Quick test_backend_run_matches_modulo;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "cycles short trips" `Quick test_schedule_cycles_short_trips;
+          Alcotest.test_case "mrt remove underflow" `Quick test_mrt_remove_underflow_diagnoses;
         ] );
       ( "sms",
         [
