@@ -15,6 +15,7 @@ open Toolkit
 
 module Config = Wr_machine.Config
 module Cycle_model = Wr_machine.Cycle_model
+module B = Core.Bench_schema
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -33,9 +34,95 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE] \
      [--verify] [--strict] [--journal FILE] [--loop-budget-ms N] [--cases N] [--fuzz-seed N] \
-     [--trace FILE] [--metrics FILE] [--backend heuristic|exact|portfolio] [--backend-diff]\n"
+     [--trace FILE] [--metrics FILE] [--backend heuristic|exact|portfolio] [--backend-diff] \
+     [--ledger FILE] [--ledger-wall]\n\
+     \       main.exe report LEDGER\n\
+     \       main.exe diff OLD NEW [--threshold PCT]\n\
+     \       main.exe validate BENCH.json...\n"
     (String.concat "|" experiments);
   exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Ledger and schema tool modes: positional file arguments, handled
+   before the experiment CLI.  [report] renders one run's ledger as a
+   dashboard; [diff] joins two ledgers (or two BENCH_*.json artifacts
+   of the same kind) and exits 2 iff a regression-class divergence
+   survives the threshold; [validate] checks BENCH artifacts against
+   the wr-bench/%s envelope. *)
+
+let diff_threshold rest =
+  (* WR_DIFF_THRESHOLD sets the default; an explicit --threshold wins.
+     Both are percentages, and malformed values warn once and fall
+     back rather than silently gating on 0. *)
+  let default = Wr_util.Env.float ~min:0.0 ~default:0.0 "WR_DIFF_THRESHOLD" in
+  match rest with
+  | [] -> default
+  | [ "--threshold"; v ] -> (
+      match float_of_string_opt (String.trim v) with
+      | Some t when t >= 0.0 -> t
+      | _ ->
+          Wr_util.Env.warn_invalid ~name:"--threshold" ~value:v
+            ~expected:"a non-negative percentage"
+            ~default:(Printf.sprintf "%g" default);
+          default)
+  | _ -> usage ()
+
+let load_any path =
+  (* Ledgers and bench artifacts are both strict JSON; dispatch on
+     which loader accepts the file. *)
+  match Core.Provenance.load path with
+  | Ok records -> `Ledger records
+  | Error ledger_err -> (
+      match Core.Bench_schema.load_file path with
+      | Ok j -> `Bench j
+      | Error bench_err ->
+          Printf.eprintf "%s: neither a ledger (%s) nor a bench artifact (%s)\n" path
+            ledger_err bench_err;
+          exit 2)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "report" :: [ path ] -> (
+      match Core.Provenance.load path with
+      | Ok records ->
+          print_string (Core.Observatory.report records);
+          exit 0
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2)
+  | _ :: "report" :: _ -> usage ()
+  | _ :: "diff" :: old_path :: new_path :: rest ->
+      let threshold_pct = diff_threshold rest in
+      let ds =
+        match (load_any old_path, load_any new_path) with
+        | `Ledger o, `Ledger n -> Core.Observatory.diff ~threshold_pct o n
+        | `Bench o, `Bench n -> (
+            match Core.Observatory.diff_bench ~threshold_pct o n with
+            | Ok ds -> ds
+            | Error msg ->
+                Printf.eprintf "diff: %s\n" msg;
+                exit 2)
+        | _ ->
+            Printf.eprintf "diff: %s and %s are not artifacts of the same kind\n" old_path
+              new_path;
+            exit 2
+      in
+      print_string (Core.Observatory.render_diff ds);
+      exit (if Core.Observatory.has_regressions ds then 2 else 0)
+  | _ :: "diff" :: _ -> usage ()
+  | _ :: "validate" :: (_ :: _ as paths) ->
+      let failed = ref false in
+      List.iter
+        (fun path ->
+          match Result.bind (Core.Bench_schema.load_file path) Core.Bench_schema.validate with
+          | Ok kind -> Printf.printf "%s: ok (%s, kind %s)\n" path Core.Bench_schema.version kind
+          | Error msg ->
+              failed := true;
+              Printf.printf "%s: INVALID — %s\n" path msg)
+        paths;
+      exit (if !failed then 2 else 0)
+  | _ :: [ "validate" ] -> usage ()
+  | _ -> ()
 
 let ( selected,
       sample_size,
@@ -52,13 +139,16 @@ let ( selected,
       trace_path,
       metrics_path,
       backend_flag,
-      backend_diff ) =
+      backend_diff,
+      ledger_path,
+      ledger_wall ) =
   let selected = ref "all" and sample = ref None and timing = ref true in
   let csv = ref None and jobs = ref None and json = ref None in
   let verify = ref false and cases = ref 200 and seed = ref 0x5EEDL in
   let strict = ref false and journal = ref None and budget = ref None in
   let trace = ref None and metrics = ref None in
   let backend = ref None and diff = ref false in
+  let ledger = ref None and lwall = ref false in
   let rec parse = function
     | [] -> ()
     | "-s" :: n :: rest ->
@@ -114,6 +204,12 @@ let ( selected,
     | "--backend-diff" :: rest ->
         diff := true;
         parse rest
+    | "--ledger" :: path :: rest ->
+        ledger := Some path;
+        parse rest
+    | "--ledger-wall" :: rest ->
+        lwall := true;
+        parse rest
     | id :: rest when id = "all" || List.mem id experiments ->
         selected := id;
         parse rest
@@ -121,7 +217,7 @@ let ( selected,
   in
   parse (List.tl (Array.to_list Sys.argv));
   ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !strict, !journal, !budget,
-    !cases, !seed, !trace, !metrics, !backend, !diff )
+    !cases, !seed, !trace, !metrics, !backend, !diff, !ledger, !lwall )
 
 let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
 
@@ -130,6 +226,12 @@ let () = Option.iter Wr_sched.Backend.set backend_flag
 let () = if verify_flag then Core.Evaluate.set_verify true
 
 let () = if strict_flag then Core.Evaluate.set_strict true
+
+(* Provenance capture turns on with --ledger; wall times stay off
+   unless explicitly requested (they break ledger byte-identity). *)
+let () = if ledger_path <> None then Core.Provenance.set_capture true
+
+let () = if ledger_wall then Core.Provenance.set_wall true
 
 let () = Core.Evaluate.set_loop_budget_ms loop_budget_ms
 
@@ -153,6 +255,13 @@ let effective_jobs () =
 (* --json collects per-experiment wall times and Bechamel estimates so
    the perf trajectory can be tracked across commits (BENCH_*.json). *)
 let wall_times : (string * float) list ref = ref []
+
+(* Failures detected mid-run (simulation mismatches, fuzz oracle
+   violations, determinism breaks) defer the exit-2 to process end so
+   the run's trace, metrics, and ledger still get written first. *)
+let deferred_failures : string list ref = ref []
+
+let defer_failure msg = deferred_failures := msg :: !deferred_failures
 
 let bechamel_estimates : (string * float) list ref = ref []
 
@@ -401,10 +510,8 @@ let run_experiment id =
         "End-to-end validation: %d (loop, config) points simulated cycle-by-cycle, %d mismatches against the reference interpreter.
 "
         !checked !failed;
-      if !failed > 0 then begin
-        Printf.eprintf "endtoend: %d simulation mismatch(es)\n" !failed;
-        exit 2
-      end;
+      if !failed > 0 then
+        defer_failure (Printf.sprintf "endtoend: %d simulation mismatch(es)" !failed);
       paper_note
         "Beyond the paper: every schedule is executed on a cycle-level simulator with MVE          register assignment and compared bit-for-bit with sequential semantics."
   | "gap" ->
@@ -420,30 +527,39 @@ let run_experiment id =
       print_string (Core.Gap_study.to_text t);
       write_csv "gap" Core.Csv_export.gap_header (Core.Csv_export.gap_rows t);
       let path = "BENCH_gap.json" in
-      Out_channel.with_open_text path (fun oc ->
-          Printf.fprintf oc
-            "{\n  \"suite\": \"%s\",\n  \"points\": %d,\n  \"proved_optimal\": %d,\n\
-            \  \"improved\": %d,\n  \"timeout\": %d,\n  \"gap_total\": %d,\n\
-            \  \"max_gap\": %d,\n  \"nodes_total\": %d,\n  \"wall_s\": %.3f,\n\
-            \  \"rows\": [\n%s\n  ]\n}\n"
-            (json_escape suite_id) t.Core.Gap_study.points t.Core.Gap_study.proved_optimal
-            t.Core.Gap_study.improved t.Core.Gap_study.fallback t.Core.Gap_study.gap_total
-            t.Core.Gap_study.max_gap t.Core.Gap_study.nodes_total wall
-            (String.concat ",\n"
-               (List.map
-                  (fun (r : Core.Gap_study.row) ->
-                    Printf.sprintf
-                      "    { \"family\": \"%s\", \"loop\": \"%s\", \"config\": \"%s\", \
-                       \"ops\": %d, \"mii\": %d, \"heur_ii\": %d, \"exact_ii\": %d, \
-                       \"gap\": %d, \"status\": \"%s\", \"nodes\": %d }"
-                      (json_escape r.Core.Gap_study.family)
-                      (json_escape r.Core.Gap_study.loop_name)
-                      (Config.label_short r.Core.Gap_study.config)
-                      r.Core.Gap_study.ops r.Core.Gap_study.mii r.Core.Gap_study.heur_ii
-                      r.Core.Gap_study.exact_ii r.Core.Gap_study.gap
-                      (Core.Gap_study.status_string r.Core.Gap_study.status)
-                      r.Core.Gap_study.nodes)
-                  t.Core.Gap_study.rows)));
+      B.write_file path
+        (B.envelope ~kind:"gap"
+           [
+             ("suite", B.str suite_id);
+             ("points", B.int t.Core.Gap_study.points);
+             ("proved_optimal", B.int t.Core.Gap_study.proved_optimal);
+             ("improved", B.int t.Core.Gap_study.improved);
+             ("timeout", B.int t.Core.Gap_study.fallback);
+             ("gap_total", B.int t.Core.Gap_study.gap_total);
+             ("max_gap", B.int t.Core.Gap_study.max_gap);
+             ("nodes_total", B.int t.Core.Gap_study.nodes_total);
+             ("wall_s", B.float ~fmt:(Printf.sprintf "%.3f") wall);
+             ( "rows",
+               B.List
+                 (List.map
+                    (fun (r : Core.Gap_study.row) ->
+                      B.Obj
+                        [
+                          ("family", B.str r.Core.Gap_study.family);
+                          ("loop", B.str r.Core.Gap_study.loop_name);
+                          ("config", B.str (Config.label_short r.Core.Gap_study.config));
+                          ("ops", B.int r.Core.Gap_study.ops);
+                          ("mii", B.int r.Core.Gap_study.mii);
+                          ("heur_ii", B.int r.Core.Gap_study.heur_ii);
+                          ("exact_ii", B.int r.Core.Gap_study.exact_ii);
+                          ("gap", B.int r.Core.Gap_study.gap);
+                          ( "status",
+                            B.str (Core.Gap_study.status_string r.Core.Gap_study.status) );
+                          ("nodes", B.int r.Core.Gap_study.nodes);
+                          ("evictions", B.int r.Core.Gap_study.evictions);
+                        ])
+                    t.Core.Gap_study.rows) );
+           ]);
       Printf.printf "[json] wrote %s\n%!" path;
       record_wall "gap/study-total" wall;
       paper_note
@@ -480,10 +596,8 @@ let run_experiment id =
         (seq9 /. Stdlib.max 1e-9 par9);
       let identical = String.equal s3 p3 && String.equal s9 p9 in
       Printf.printf "outputs bit-identical across pool sizes: %b\n" identical;
-      if not identical then begin
-        Printf.eprintf "parspeed: sequential and parallel outputs differ!\n";
-        exit 2
-      end;
+      if not identical then
+        defer_failure "parspeed: sequential and parallel outputs differ!";
       paper_note
         (Printf.sprintf
            "Engine check: per-loop scheduling fans out over %d domain(s) \
@@ -545,20 +659,27 @@ let run_experiment id =
       Printf.printf "total: %.3f ms over the top %d loops (%d reps each, 4w2, Cycles_4)\n"
         (total *. 1e3) (List.length timed) reps;
       let path = "BENCH_sched.json" in
-      Out_channel.with_open_text path (fun oc ->
-          Printf.fprintf oc
-            "{\n  \"suite\": \"%s\",\n  \"config\": \"4w2\",\n  \"cycle_model\": 4,\n\
-            \  \"reps\": %d,\n  \"loops\": [\n%s\n  ],\n  \"total_s\": %.6f\n}\n"
-            (json_escape suite_id) reps
-            (String.concat ",\n"
-               (List.map
-                  (fun (name, index, placements, s) ->
-                    Printf.sprintf
-                      "    { \"name\": \"%s\", \"index\": %d, \"placements\": %d, \
-                       \"wall_s\": %.6f }"
-                      (json_escape name) index placements s)
-                  timed))
-            total);
+      B.write_file path
+        (B.envelope ~kind:"sched"
+           [
+             ("suite", B.str suite_id);
+             ("config", B.str "4w2");
+             ("cycle_model", B.int 4);
+             ("reps", B.int reps);
+             ( "loops",
+               B.List
+                 (List.map
+                    (fun (name, index, placements, s) ->
+                      B.Obj
+                        [
+                          ("name", B.str name);
+                          ("index", B.int index);
+                          ("placements", B.int placements);
+                          ("wall_s", B.float ~fmt:(Printf.sprintf "%.6f") s);
+                        ])
+                    timed) );
+             ("total_s", B.float ~fmt:(Printf.sprintf "%.6f") total);
+           ]);
       Printf.printf "[json] wrote %s\n%!" path;
       record_wall "schedmicro/top-loops-total" total;
       paper_note
@@ -660,26 +781,35 @@ let run_experiment id =
          iterations each)\n"
         ref_total flat_total speedup (List.length timed) reps iterations;
       let path = "BENCH_interp.json" in
-      Out_channel.with_open_text path (fun oc ->
-          Printf.fprintf oc
-            "{\n  \"suite\": \"%s\",\n  \"iterations\": %d,\n  \"reps\": %d,\n\
-            \  \"loops\": [\n%s\n  ],\n  \"ref_total_s\": %.6f,\n\
-            \  \"flat_total_s\": %.6f,\n  \"speedup\": %.3f\n}\n"
-            (json_escape suite_id) iterations reps
-            (String.concat ",\n"
-               (List.map
-                  (fun ( name, index, ops, compile_us, _, ref_ns, ref_alloc, _, flat_ns,
-                         flat_alloc ) ->
-                    Printf.sprintf
-                      "    { \"name\": \"%s\", \"index\": %d, \"ops\": %d, \
-                       \"compile_us\": %.2f, \"ref_ns_per_iter\": %.2f, \
-                       \"flat_ns_per_iter\": %.2f, \"speedup\": %.3f, \
-                       \"ref_alloc_b_per_iter\": %.2f, \"flat_alloc_b_per_iter\": %.2f }"
-                      (json_escape name) index ops compile_us ref_ns flat_ns
-                      (ref_ns /. Stdlib.max 1e-9 flat_ns)
-                      ref_alloc flat_alloc)
-                  timed))
-            ref_total flat_total speedup);
+      let f2 = Printf.sprintf "%.2f" and f3 = Printf.sprintf "%.3f" in
+      B.write_file path
+        (B.envelope ~kind:"interp"
+           [
+             ("suite", B.str suite_id);
+             ("iterations", B.int iterations);
+             ("reps", B.int reps);
+             ( "loops",
+               B.List
+                 (List.map
+                    (fun ( name, index, ops, compile_us, _, ref_ns, ref_alloc, _, flat_ns,
+                           flat_alloc ) ->
+                      B.Obj
+                        [
+                          ("name", B.str name);
+                          ("index", B.int index);
+                          ("ops", B.int ops);
+                          ("compile_us", B.float ~fmt:f2 compile_us);
+                          ("ref_ns_per_iter", B.float ~fmt:f2 ref_ns);
+                          ("flat_ns_per_iter", B.float ~fmt:f2 flat_ns);
+                          ("speedup", B.float ~fmt:f3 (ref_ns /. Stdlib.max 1e-9 flat_ns));
+                          ("ref_alloc_b_per_iter", B.float ~fmt:f2 ref_alloc);
+                          ("flat_alloc_b_per_iter", B.float ~fmt:f2 flat_alloc);
+                        ])
+                    timed) );
+             ("ref_total_s", B.float ~fmt:(Printf.sprintf "%.6f") ref_total);
+             ("flat_total_s", B.float ~fmt:(Printf.sprintf "%.6f") flat_total);
+             ("speedup", B.float ~fmt:f3 speedup);
+           ]);
       Printf.printf "[json] wrote %s\n%!" path;
       record_wall "interpmicro/reference-total" ref_total;
       record_wall "interpmicro/flat-total" flat_total;
@@ -709,11 +839,10 @@ let run_experiment id =
         (fun d ->
           Printf.printf "---- reproducer ----\n%s\n" (Wr_check.Fuzz.diff_reproducer d))
         stats.Wr_check.Fuzz.dbug_cases;
-      if stats.Wr_check.Fuzz.dbug_cases <> [] then begin
-        Printf.eprintf "fuzz --backend-diff: %d bug case(s)\n"
-          (List.length stats.Wr_check.Fuzz.dbug_cases);
-        exit 2
-      end;
+      if stats.Wr_check.Fuzz.dbug_cases <> [] then
+        defer_failure
+          (Printf.sprintf "fuzz --backend-diff: %d bug case(s)"
+             (List.length stats.Wr_check.Fuzz.dbug_cases));
       paper_note
         "Engine check: the exact backend cross-examines the heuristic on every case — any \
          heuristic II the exact search beats is a logged optimality gap, any invalid or \
@@ -736,11 +865,10 @@ let run_experiment id =
         (fun f ->
           Printf.printf "---- reproducer ----\n%s\n" (Wr_check.Fuzz.reproducer f))
         stats.Wr_check.Fuzz.failures;
-      if stats.Wr_check.Fuzz.failures <> [] then begin
-        Printf.eprintf "fuzz: %d case(s) violated an oracle\n"
-          (List.length stats.Wr_check.Fuzz.failures);
-        exit 2
-      end;
+      if stats.Wr_check.Fuzz.failures <> [] then
+        defer_failure
+          (Printf.sprintf "fuzz: %d case(s) violated an oracle"
+             (List.length stats.Wr_check.Fuzz.failures));
       paper_note
         "Engine check: every case re-verified by the independent invariant oracles \
          (dependences, reservation table, wands allocation, spill semantics)."
@@ -819,6 +947,22 @@ let run_experiment id =
         [ "eval/evaluations"; "sched/runs"; "sched/attempts"; "sched/evictions";
           "sched/forces"; "sched/budget_exhausted"; "driver/probes"; "spill/vregs_spilled";
           "spill/stores_added"; "spill/loads_added"; "spill/reloads_memoized" ];
+      (* The exact backend's search counters only tick under
+         --backend exact/portfolio (or after a gap run); suppress the
+         section when the heuristic handled everything. *)
+      if counter "search/at_ii" > 0 then begin
+        Printf.printf "\nExact-backend search totals:\n";
+        List.iter
+          (fun name -> Printf.printf "  %-24s %d\n" name (counter name))
+          [ "search/runs"; "search/at_ii"; "search/nodes"; "search/phase1_probes";
+            "search/phase2_probes"; "search/prune_resource"; "search/prune_window";
+            "search/prune_backtrack"; "search/exhausted"; "exact/nodes"; "exact/improved" ];
+        match List.assoc_opt "search/nodes_per_attempt" snap.Obs.histograms with
+        | None | Some [] -> ()
+        | Some bins ->
+            Printf.printf "  nodes per II attempt (>1024 clamped into the overflow bin):\n";
+            List.iter (fun (v, c) -> Printf.printf "    %5d %7d\n" v c) bins
+      end;
       Printf.printf "\nPool utilization (%d jobs):\n" (effective_jobs ());
       if snap.Obs.lanes = [] then
         Printf.printf "  (no pool tasks: single-domain run executes inline)\n"
@@ -943,7 +1087,18 @@ let () =
       Wr_obs.Obs.write_metrics path;
       Printf.printf "[metrics] wrote %s\n%!" path)
     metrics_path;
+  Option.iter
+    (fun path ->
+      Core.Provenance.write path;
+      Printf.printf "[ledger] wrote %s (%d points)\n%!" path
+        (List.length (Core.Provenance.records ())))
+    ledger_path;
   Core.Evaluate.detach_journal ();
+  (match List.rev !deferred_failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun msg -> Printf.eprintf "%s\n" msg) fs;
+      exit 2);
   (* Quarantine report: every point that degraded to the unpipelined
      fallback instead of killing the run, named precisely enough to
      reproduce (suite, loop, machine point).  Exit 3 distinguishes

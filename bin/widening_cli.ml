@@ -27,10 +27,11 @@ let experiment_ids =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "all";
   ]
 
-let run_experiment id sample jobs trace metrics strict journal budget backend =
+let run_experiment id sample jobs trace metrics strict journal budget backend ledger =
   Option.iter Wr_sched.Backend.set backend;
   Option.iter Wr_util.Pool.set_default_jobs jobs;
   if trace <> None || metrics <> None then Wr_obs.Obs.set_enabled true;
+  if ledger <> None then Core.Provenance.set_capture true;
   if strict then Core.Evaluate.set_strict true;
   Core.Evaluate.set_loop_budget_ms budget;
   Option.iter
@@ -87,6 +88,12 @@ let run_experiment id sample jobs trace metrics strict journal budget backend =
       Wr_obs.Obs.write_metrics path;
       Printf.eprintf "[metrics] wrote %s\n" path)
     metrics;
+  Option.iter
+    (fun path ->
+      Core.Provenance.write path;
+      Printf.eprintf "[ledger] wrote %s (%d points)\n" path
+        (List.length (Core.Provenance.records ())))
+    ledger;
   Core.Evaluate.detach_journal ();
   (* Completed-with-quarantine is exit 3 (see README "Exit codes"):
      distinct from success and from hard failure, so CI can tell a
@@ -189,6 +196,15 @@ let backend_arg =
   in
   Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
+let ledger_arg =
+  let doc =
+    "Record one provenance record per evaluated point (content hash, II vs MII, backend, \
+     spill traffic, oracle verdict, quarantine tag) and write them as a checksummed run \
+     ledger at FILE — the input of $(b,bench) $(b,report)/$(b,diff).  Byte-identical for \
+     any --jobs; per-point wall times are opt-in via WR_LEDGER_WALL=1."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
 let experiment_cmd =
   let id =
     let doc = "Experiment id: " ^ String.concat ", " experiment_ids ^ "." in
@@ -198,7 +214,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
     Term.(const run_experiment $ id $ sample_arg $ jobs_arg $ trace_arg $ metrics_arg
-          $ strict_arg $ journal_arg $ budget_arg $ backend_arg)
+          $ strict_arg $ journal_arg $ budget_arg $ backend_arg $ ledger_arg)
 
 (* --- schedule --------------------------------------------------------- *)
 

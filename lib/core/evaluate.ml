@@ -14,6 +14,7 @@ type loop_result = {
   required_regs : int;
   spill_stores : int;
   spill_loads : int;
+  spill_rounds : int;
   pipelined : bool;
   mii : int;
   trip_count : int;
@@ -234,6 +235,7 @@ let loop_on_impl ?plan_key (c : Config.t) ~cycle_model ~registers (loop : Loop.t
         required_regs = s.Driver.alloc.Wr_regalloc.Alloc.required;
         spill_stores = s.Driver.stores_added;
         spill_loads = s.Driver.loads_added;
+        spill_rounds = s.Driver.spill_rounds;
         pipelined = true;
         mii = s.Driver.mii;
         trip_count = prepared.Loop.trip_count;
@@ -262,6 +264,7 @@ let loop_on_impl ?plan_key (c : Config.t) ~cycle_model ~registers (loop : Loop.t
         required_regs = registers;
         spill_stores = 0;
         spill_loads = 0;
+        spill_rounds = 0;
         pipelined = false;
         mii = r.Wr_sched.Modulo.mii;
         trip_count = prepared.Loop.trip_count;
@@ -355,6 +358,7 @@ let entry_of_result (key : string * int * int * int * int * int) (r : loop_resul
     required_regs = r.required_regs;
     spill_stores = r.spill_stores;
     spill_loads = r.spill_loads;
+    spill_rounds = r.spill_rounds;
     pipelined = r.pipelined;
     mii = r.mii;
     trip_count = r.trip_count;
@@ -367,6 +371,7 @@ let result_of_entry (e : Journal.entry) =
     required_regs = e.Journal.required_regs;
     spill_stores = e.Journal.spill_stores;
     spill_loads = e.Journal.spill_loads;
+    spill_rounds = e.Journal.spill_rounds;
     pipelined = e.Journal.pipelined;
     mii = e.Journal.mii;
     trip_count = e.Journal.trip_count;
@@ -425,9 +430,49 @@ let degraded_result ~cycle_model ~registers (loop : Loop.t) =
     required_regs = registers;
     spill_stores = 0;
     spill_loads = 0;
+    spill_rounds = 0;
     pipelined = false;
     mii = 0;
     trip_count = loop.Loop.trip_count;
+  }
+
+(* Provenance record for one freshly evaluated point; called only when
+   capture is on and this call's result won the first-store race, so a
+   run emits at most one record per point. *)
+let prov_record ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop
+    (r : loop_result) ~clean ~tag (t : Wr_sched.Backend.tally) ~wall_us =
+  {
+    Provenance.hash =
+      Provenance.point_hash ~suite_id ~index ~config:c ~registers ~cycle_model loop;
+    suite = suite_id;
+    index;
+    loop = loop.Loop.name;
+    config = Config.label c;
+    registers;
+    cycle_model = Cycle_model.cycles cycle_model;
+    ii = r.ii;
+    mii = r.mii;
+    cycles = r.cycles;
+    pipelined = r.pipelined;
+    spill_rounds = r.spill_rounds;
+    spill_stores = r.spill_stores;
+    spill_loads = r.spill_loads;
+    backend = Wr_sched.Backend.to_string (Wr_sched.Backend.current ());
+    sched_runs = t.Wr_sched.Backend.runs;
+    evictions = t.Wr_sched.Backend.evictions;
+    exact =
+      {
+        Provenance.solves = t.Wr_sched.Backend.solves;
+        proved = t.Wr_sched.Backend.proved;
+        unproved = t.Wr_sched.Backend.unproved;
+        fallback = t.Wr_sched.Backend.fallback;
+        nodes = t.Wr_sched.Backend.nodes;
+        iis_refuted = t.Wr_sched.Backend.iis_refuted;
+      };
+    oracle = (if clean && verify_enabled () then "verified" else "unverified");
+    quarantined = not clean;
+    tag;
+    wall_us;
   }
 
 let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
@@ -469,14 +514,18 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
                 Wr_util.Deadline.with_budget_ms ms (fun () ->
                     loop_on ~plan_key c ~cycle_model ~registers loop))
       in
-      let r, clean =
+      let cap = Provenance.capture_enabled () in
+      let wall = cap && Provenance.wall_enabled () in
+      let t0 = if wall then Obs.now_ns () else 0 in
+      let run_point () =
         match evaluate () with
-        | r -> (r, true)
+        | r -> (r, true, "")
         | exception Out_of_memory ->
             (* Never absorb resource exhaustion into a data point. *)
             raise Out_of_memory
         | exception e when not (strict_enabled ()) ->
             let bt = Printexc.get_backtrace () in
+            let reason = Printexc.to_string e in
             quarantine
               {
                 q_suite = suite_id;
@@ -485,10 +534,14 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
                 q_config = Config.label c;
                 q_registers = registers;
                 q_cycle_model = Cycle_model.cycles cycle_model;
-                q_reason = Printexc.to_string e;
+                q_reason = reason;
                 q_backtrace = bt;
               };
-            (degraded_result ~cycle_model ~registers loop, false)
+            (degraded_result ~cycle_model ~registers loop, false, reason)
+      in
+      let (r, clean, tag), tally =
+        if cap then Wr_sched.Backend.with_tally run_point
+        else (run_point (), Wr_sched.Backend.empty_tally ())
       in
       Mutex.lock cache_mutex;
       (* First store wins so concurrent callers settle on one physical
@@ -502,6 +555,15 @@ let loop_cached ~suite_id ~index (c : Config.t) ~cycle_model ~registers loop =
       in
       Mutex.unlock cache_mutex;
       if clean && stored == r then journal_append key r;
+      (* Same first-store-wins discipline: only the winning evaluation
+         describes the point, and — unlike the journal — a quarantined
+         point is recorded too, exception tag and all. *)
+      if cap && stored == r then begin
+        let wall_us = if wall then Some ((Obs.now_ns () - t0) / 1000) else None in
+        Provenance.record
+          (prov_record ~suite_id ~index c ~cycle_model ~registers loop r ~clean ~tag tally
+             ~wall_us)
+      end;
       stored
 
 let suite_on ?pool ~suite_id (c : Config.t) ~cycle_model ~registers loops =

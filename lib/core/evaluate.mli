@@ -34,6 +34,7 @@ type loop_result = {
   required_regs : int;
   spill_stores : int;
   spill_loads : int;
+  spill_rounds : int;  (** spill/reschedule iterations the driver took *)
   pipelined : bool;
   mii : int;  (** MII of the widened body (from the pre-spill graph) *)
   trip_count : int;  (** trip count of the widened loop *)

@@ -21,6 +21,7 @@ type row = {
   gap : int;
   status : Exact.status;
   nodes : int;
+  evictions : int;
 }
 
 type t = {
@@ -46,24 +47,85 @@ let status_string = function
   | Exact.Fallback -> "timeout"
 
 let point ~cycle_model ~max_nodes ?budget_ms (family, index, loop, config) =
-  let wide, _ = Wr_widen.Transform.widen loop ~width:config.Config.width in
-  let ddg = wide.Loop.ddg in
-  let resource = Resource.of_config config in
-  let r = Exact.solve resource ~cycle_model ~max_nodes ?budget_ms ddg in
-  let heur_ii = r.Exact.base.Modulo.schedule.Schedule.ii in
-  {
-    family;
-    loop_name = loop.Loop.name;
-    index;
-    config;
-    ops = Ddg.num_ops ddg;
-    mii = r.Exact.mii;
-    heur_ii;
-    exact_ii = r.Exact.ii;
-    gap = heur_ii - r.Exact.ii;
-    status = r.Exact.status;
-    nodes = r.Exact.nodes;
-  }
+  let wall = Provenance.capture_enabled () && Provenance.wall_enabled () in
+  let t0 = if wall then Obs.now_ns () else 0 in
+  let row =
+    (if not (Obs.enabled ()) then fun f -> f ()
+     else
+       Obs.span "gap/point"
+         ~args:[ ("family", family); ("loop", loop.Loop.name); ("config", Config.label config) ])
+    @@ fun () ->
+    let wide, _ = Wr_widen.Transform.widen loop ~width:config.Config.width in
+    let ddg = wide.Loop.ddg in
+    let resource = Resource.of_config config in
+    let r = Exact.solve resource ~cycle_model ~max_nodes ?budget_ms ddg in
+    let heur_ii = r.Exact.base.Modulo.schedule.Schedule.ii in
+    if Obs.enabled () then begin
+      Obs.incr "gap/points";
+      Obs.incr
+        (match r.Exact.status with
+        | Exact.Proved_optimal -> "gap/proved"
+        | Exact.Feasible_unproved -> "gap/improved_unproved"
+        | Exact.Fallback -> "gap/timeout");
+      Obs.observe_clamped "gap/nodes_per_point" ~top:1024 r.Exact.nodes
+    end;
+    {
+      family;
+      loop_name = loop.Loop.name;
+      index;
+      config;
+      ops = Ddg.num_ops ddg;
+      mii = r.Exact.mii;
+      heur_ii;
+      exact_ii = r.Exact.ii;
+      gap = heur_ii - r.Exact.ii;
+      status = r.Exact.status;
+      nodes = r.Exact.nodes;
+      evictions = r.Exact.base.Modulo.evictions;
+    }
+  in
+  (* Gap points flow into the same provenance ledger as study points,
+     under a "gap:<family>" suite: [ii] carries the heuristic's II (an
+     II increase diffs as a heuristic regression), [cycles] carries the
+     exact reference II, and the exact tally carries the proof
+     status. *)
+  if Provenance.capture_enabled () then
+    Provenance.record
+      {
+        Provenance.hash =
+          Provenance.point_hash ~suite_id:("gap:" ^ family) ~index ~config ~registers:0
+            ~cycle_model loop;
+        suite = "gap:" ^ family;
+        index;
+        loop = loop.Loop.name;
+        config = Config.label config;
+        registers = 0;
+        cycle_model = Cycle_model.cycles cycle_model;
+        ii = row.heur_ii;
+        mii = row.mii;
+        cycles = float_of_int row.exact_ii;
+        pipelined = true;
+        spill_rounds = 0;
+        spill_stores = 0;
+        spill_loads = 0;
+        backend = "exact";
+        sched_runs = 1;
+        evictions = row.evictions;
+        exact =
+          {
+            Provenance.solves = 1;
+            proved = (match row.status with Exact.Proved_optimal -> 1 | _ -> 0);
+            unproved = (match row.status with Exact.Feasible_unproved -> 1 | _ -> 0);
+            fallback = (match row.status with Exact.Fallback -> 1 | _ -> 0);
+            nodes = row.nodes;
+            iis_refuted = (if row.status = Exact.Proved_optimal then row.heur_ii - row.exact_ii else 0);
+          };
+        oracle = "unverified";
+        quarantined = false;
+        tag = "";
+        wall_us = (if wall then Some ((Obs.now_ns () - t0) / 1000) else None);
+      };
+  row
 
 let run ?(configs = default_configs) ?(cycle_model = Cycle_model.Cycles_4)
     ?(max_nodes = 200_000) ?budget_ms families =

@@ -20,6 +20,7 @@ type row = {
   gap : int;  (** [heur_ii - exact_ii], always >= 0 *)
   status : Wr_sched.Exact.status;
   nodes : int;
+  evictions : int;  (** heuristic scheduler evictions on this point *)
 }
 
 type t = {

@@ -14,6 +14,7 @@ type entry = {
   required_regs : int;
   spill_stores : int;
   spill_loads : int;
+  spill_rounds : int;
   pipelined : bool;
   mii : int;
   trip_count : int;
@@ -78,11 +79,14 @@ let decode_id s =
     Buffer.contents b
   end
 
+(* wrj2: wrj1 plus the spill-round count (provenance records need it);
+   wrj1 lines fail the shape test below, so a pre-existing journal is
+   treated as a torn tail and its points simply re-evaluate. *)
 let payload_of_entry e =
   let k = e.key in
-  Printf.sprintf "wrj1 %s %d %d %d %d %d %d %Lx %d %d %d %d %d %d" (encode_id k.suite_id)
+  Printf.sprintf "wrj2 %s %d %d %d %d %d %d %Lx %d %d %d %d %d %d %d" (encode_id k.suite_id)
     k.index k.buses k.width k.registers k.cycles e.ii e.cycles_bits e.required_regs
-    e.spill_stores e.spill_loads
+    e.spill_stores e.spill_loads e.spill_rounds
     (if e.pipelined then 1 else 0)
     e.mii e.trip_count
 
@@ -95,8 +99,8 @@ let line_of_entry e =
 let entry_of_line line =
   match String.split_on_char ' ' line with
   | [
-   "wrj1"; sid; index; buses; width; registers; cycles; ii; bits; required; stores; loads;
-   pipelined; mii; trip; crc;
+   "wrj2"; sid; index; buses; width; registers; cycles; ii; bits; required; stores; loads;
+   rounds; pipelined; mii; trip; crc;
   ] -> (
       let payload = String.sub line 0 (String.length line - String.length crc - 1) in
       let sum = Printf.sprintf "%Lx" (fnv1a64 payload) in
@@ -120,6 +124,7 @@ let entry_of_line line =
               required_regs = int required;
               spill_stores = int stores;
               spill_loads = int loads;
+              spill_rounds = int rounds;
               pipelined = (match pipelined with "1" -> true | "0" -> false | _ -> raise Exit);
               mii = int mii;
               trip_count = int trip;

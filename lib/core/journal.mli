@@ -37,10 +37,15 @@ type entry = {
   required_regs : int;
   spill_stores : int;
   spill_loads : int;
+  spill_rounds : int;
   pipelined : bool;
   mii : int;
   trip_count : int;
 }
+(** Format tag [wrj2] (was [wrj1] before [spill_rounds]); a journal
+    written by an older build fails the shape check line by line and
+    is discarded like any torn tail — the run re-evaluates instead of
+    resuming. *)
 
 type t
 

@@ -98,6 +98,10 @@ let incr name = add name 1
 
 let observe name v = if enabled () then hist_observe (sink ()).hists name v
 
+let observe_clamped name ~top v =
+  if enabled () then
+    hist_observe (sink ()).hists name (if v > top then top + 1 else v)
+
 let runtime_add name n = if enabled () then tbl_add (sink ()).rt_counters name n
 
 let runtime_observe name v = if enabled () then hist_observe (sink ()).rt_hists name v

@@ -52,6 +52,16 @@ val observe : string -> int -> unit
 (** Record one occurrence of an exact integer value into a
     deterministic histogram. *)
 
+val observe_clamped : string -> top:int -> int -> unit
+(** [observe_clamped name ~top v] records [v] into the histogram
+    [name], except that every value above [top] lands in a single
+    overflow bucket at [top + 1].  The overflow bucket keeps the exact
+    count of clamped observations, so cross-domain merges stay
+    loss-free in count (only the value resolution above [top] is
+    given up) and the bin cardinality is bounded — use this for
+    open-ended quantities like search node counts or II escalation,
+    where {!observe} would create one bin per distinct value. *)
+
 val runtime_add : string -> int -> unit
 (** Add to a per-lane runtime counter (placement-dependent values:
     busy nanoseconds, task counts per worker...). *)

@@ -34,6 +34,37 @@ val all : kind list
 val set : kind -> unit
 val current : unit -> kind
 
+(** {1 Per-point tally}
+
+    Provenance capture needs per-point backend statistics (how many
+    schedule requests a point made, how the exact lane fared), and the
+    dependency arrow points from [Core] to this library — so the
+    accumulator lives here.  {!with_tally} installs a domain-local
+    tally for the dynamic extent of one point's evaluation; every
+    {!run} in that extent adds to it.  Nesting is safe (save/restore),
+    and the disabled mode costs {!run} one atomic load. *)
+
+type tally = {
+  mutable runs : int;  (** {!run} calls (heuristic or portfolio-merged) *)
+  mutable evictions : int;  (** scheduler evictions summed over runs *)
+  mutable solves : int;  (** exact-lane solves *)
+  mutable proved : int;  (** ... that proved the heuristic optimal *)
+  mutable unproved : int;  (** ... that improved without a proof *)
+  mutable fallback : int;  (** ... that expired their budget *)
+  mutable nodes : int;  (** exact search nodes summed over solves *)
+  mutable iis_refuted : int;  (** IIs refuted below the heuristic's *)
+}
+
+val empty_tally : unit -> tally
+(** An all-zero tally (also what an untallied context would report). *)
+
+val with_tally : (unit -> 'a) -> 'a * tally
+(** [with_tally f] runs [f] with a fresh tally installed on the
+    calling domain and returns [f]'s result alongside the filled
+    tally.  Portfolio lanes run on pool domains, but their outcome is
+    noted on the calling domain after the merge, so the tally is
+    complete when [f] returns. *)
+
 val run :
   Wr_machine.Resource.t ->
   cycle_model:Wr_machine.Cycle_model.t ->

@@ -175,6 +175,16 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000)
         (Stdlib.max (Option.value ~default:(-box) !lo) (-box),
          Stdlib.min (Option.value ~default:box !hi) box)
     in
+    (* Prune tallies live in plain refs (the search loop pays one
+       local increment) and are flushed to [Obs] once per at_ii call:
+       [prune_resource] counts slots rejected by the MRT,
+       [prune_window] counts operations whose dependence window came
+       up empty, [prune_backtrack] counts exhausted windows that undid
+       a placement. *)
+    let prune_resource = ref 0 in
+    let prune_window = ref 0 in
+    let prune_backtrack = ref 0 in
+    let ran_phase2 = ref false in
     let attempt ~clip =
       Array.fill time 0 n (-1);
       Array.fill assigned 0 n false;
@@ -184,8 +194,12 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000)
         else begin
           let op = order.(k) in
           let lo, hi = window ~clip op in
+          if lo > hi then incr prune_window;
           let rec try_time t =
-            if t > hi then false
+            if t > hi then begin
+              if k > 0 then incr prune_backtrack;
+              false
+            end
             else begin
               incr nodes;
               if !nodes - start_nodes > max_nodes then raise Out_of_budget;
@@ -201,7 +215,10 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000)
                   try_time (t + 1)
                 end
               end
-              else try_time (t + 1)
+              else begin
+                incr prune_resource;
+                try_time (t + 1)
+              end
             end
           in
           try_time lo
@@ -214,11 +231,23 @@ let at_ii resource ~cycle_model ~ii ?(max_nodes = 200_000)
        when it comes back empty does the exhaustive pass run, turning
        "not found" into a proof (or, rarely, finding a schedule the
        clipped windows missed). *)
-    let search () = if attempt ~clip:true then true else attempt ~clip:false in
+    let search () =
+      if attempt ~clip:true then true
+      else begin
+        ran_phase2 := true;
+        attempt ~clip:false
+      end
+    in
     let flush outcome_counter =
       if Obs.enabled () then begin
         Obs.incr "search/at_ii";
         Obs.add "search/nodes" (!nodes - start_nodes);
+        Obs.observe_clamped "search/nodes_per_attempt" ~top:1024 (!nodes - start_nodes);
+        Obs.incr "search/phase1_probes";
+        if !ran_phase2 then Obs.incr "search/phase2_probes";
+        Obs.add "search/prune_resource" !prune_resource;
+        Obs.add "search/prune_window" !prune_window;
+        Obs.add "search/prune_backtrack" !prune_backtrack;
         Obs.incr outcome_counter
       end
     in
@@ -288,6 +317,7 @@ let solve resource ~cycle_model ?(max_nodes = 200_000) ?budget_ms ?min_ii:minimu
   let finish status schedule ii nodes iis_refuted =
     if Obs.enabled () then begin
       Obs.add "exact/nodes" nodes;
+      Obs.observe_clamped "exact/nodes_per_solve" ~top:1024 nodes;
       Obs.incr
         (match status with
         | Proved_optimal -> "exact/proved"

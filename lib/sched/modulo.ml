@@ -11,6 +11,7 @@ type result = {
   res_mii : int;
   rec_mii : int;
   placements : int;
+  evictions : int;
 }
 
 let empty_schedule ~cycle_model = Schedule.make ~ii:1 ~times:[||] ~cycle_model
@@ -327,7 +328,7 @@ let attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~orderin
     Obs.add "sched/forces" !forces;
     if not !ok then Obs.incr "sched/budget_exhausted"
   end;
-  if !ok then Some (Array.copy time, !placements) else None
+  ((if !ok then Some (Array.copy time) else None), !placements, !evictions)
 
 let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(ordering = `Ims) g =
   let n = Ddg.num_ops g in
@@ -336,7 +337,14 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
   let mii = Stdlib.max res_mii rec_mii in
   if min_ii < 1 then invalid_arg "Modulo.run: min_ii must be positive";
   if n = 0 then
-    { schedule = empty_schedule ~cycle_model; mii = 1; res_mii; rec_mii; placements = 0 }
+    {
+      schedule = empty_schedule ~cycle_model;
+      mii = 1;
+      res_mii;
+      rec_mii;
+      placements = 0;
+      evictions = 0;
+    }
   else begin
     let view = Ddg.edge_view g in
     let delays = Mii.edge_delays ~cycle_model g in
@@ -350,6 +358,7 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
     let budget = Stdlib.max 32 (budget_ratio * n) in
     let s = make_scratch resource ~cycle_model g in
     let total_placements = ref 0 in
+    let total_evictions = ref 0 in
     let rec loop ii =
       (* II-escalation boundary: a budgeted evaluation gives up here,
          between self-contained attempts. *)
@@ -363,14 +372,16 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
            eviction-hardened IMS priority for the larger IIs. *)
         let ordering = if ordering = `Sms && ii > mii + 4 then `Ims else ordering in
         match attempt ~cycle_model g ~view ~delays ~ii ~rec_mii ~critical ~budget ~ordering s with
-        | Some (times, p) ->
+        | Some times, p, e ->
             total_placements := !total_placements + p;
+            total_evictions := !total_evictions + e;
             let schedule = Schedule.make ~ii ~times ~cycle_model in
             (match Schedule.validate g resource schedule with
             | Ok () -> schedule
             | Error msg -> failwith ("Modulo.run: invalid schedule produced: " ^ msg))
-        | None ->
+        | None, _, e ->
             total_placements := !total_placements + budget;
+            total_evictions := !total_evictions + e;
             loop (ii + 1)
     in
     let start_ii = Stdlib.max mii min_ii in
@@ -378,9 +389,18 @@ let run resource ~cycle_model ?(budget_ratio = 8) ?(min_ii = 1) ?max_ii ?(orderi
     if Obs.enabled () then begin
       Obs.incr "sched/runs";
       (* II escalation above the first II tried: the paper's retry
-         distribution (0 = scheduled at the MII). *)
-      Obs.observe "sched/ii_minus_start" (schedule.Schedule.ii - start_ii);
+         distribution (0 = scheduled at the MII).  Clamped: pathological
+         escalations land in one overflow bucket instead of spraying
+         bins. *)
+      Obs.observe_clamped "sched/ii_minus_start" ~top:64 (schedule.Schedule.ii - start_ii);
       Obs.add "sched/placements" !total_placements
     end;
-    { schedule; mii; res_mii; rec_mii; placements = !total_placements }
+    {
+      schedule;
+      mii;
+      res_mii;
+      rec_mii;
+      placements = !total_placements;
+      evictions = !total_evictions;
+    }
   end

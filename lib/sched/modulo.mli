@@ -25,6 +25,7 @@ type result = {
   res_mii : int;
   rec_mii : int;
   placements : int;  (** total placement steps over all II attempts *)
+  evictions : int;  (** operations evicted back to the queue, all attempts *)
 }
 
 val run :

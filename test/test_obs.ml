@@ -83,6 +83,25 @@ let test_record_and_snapshot () =
       Alcotest.(check int) "reset clears counters" 0 (List.length s.Obs.counters);
       Alcotest.(check int) "reset clears events" 0 (List.length (Obs.events ())))
 
+(* --- clamped histograms ------------------------------------------------------ *)
+
+let test_observe_clamped_overflow () =
+  with_enabled (fun () ->
+      Obs.observe_clamped "clamped" ~top:8 3;
+      Obs.observe_clamped "clamped" ~top:8 8;
+      (* Everything above [top] lands in one overflow bin at [top + 1]:
+         no count is lost, however extreme the value. *)
+      Obs.observe_clamped "clamped" ~top:8 9;
+      Obs.observe_clamped "clamped" ~top:8 100_000;
+      (* Cross-domain merge sums the overflow bin like any other. *)
+      let d = Domain.spawn (fun () -> Obs.observe_clamped "clamped" ~top:8 500) in
+      Domain.join d;
+      let bins = List.assoc "clamped" (Obs.snapshot ()).Obs.histograms in
+      Alcotest.(check bool) "exact bins kept, overflow merged at top+1" true
+        ([ (3, 1); (8, 1); (9, 3) ] = bins);
+      Alcotest.(check int) "no count lost" 5
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 bins))
+
 (* --- determinism across pool sizes ------------------------------------------- *)
 
 (* The determinism contract: counters and histograms merge by summation
@@ -329,7 +348,9 @@ let () =
       ( "disabled",
         [ Alcotest.test_case "recording is free and records nothing" `Quick test_disabled_is_free ] );
       ( "recording",
-        [ Alcotest.test_case "counters, histograms, spans, reset" `Quick test_record_and_snapshot ] );
+        [ Alcotest.test_case "counters, histograms, spans, reset" `Quick test_record_and_snapshot;
+          Alcotest.test_case "clamped histograms keep overflow counts" `Quick
+            test_observe_clamped_overflow ] );
       ( "determinism",
         [
           Alcotest.test_case "merged metrics identical at jobs 1 vs 4" `Quick
