@@ -33,7 +33,7 @@ let experiments =
 let usage () =
   Printf.eprintf
     "usage: main.exe [all|%s] [-s N] [--no-timing] [--csv DIR] [--jobs N] [--json FILE] \
-     [--verify] [--strict] [--journal FILE] [--loop-budget-ms N] [--cases N] [--fuzz-seed N] \
+     [--verify] [--strict] [--journal FILE] [--store DIR] [--loop-budget-ms N] [--cases N] [--fuzz-seed N] \
      [--trace FILE] [--metrics FILE] [--backend heuristic|exact|portfolio] [--backend-diff] \
      [--ledger FILE] [--ledger-wall]\n\
      \       main.exe report LEDGER\n\
@@ -133,6 +133,7 @@ let ( selected,
       verify_flag,
       strict_flag,
       journal_path,
+      store_dir,
       loop_budget_ms,
       fuzz_cases,
       fuzz_seed,
@@ -146,6 +147,7 @@ let ( selected,
   let csv = ref None and jobs = ref None and json = ref None in
   let verify = ref false and cases = ref 200 and seed = ref 0x5EEDL in
   let strict = ref false and journal = ref None and budget = ref None in
+  let store = ref None in
   let trace = ref None and metrics = ref None in
   let backend = ref None and diff = ref false in
   let ledger = ref None and lwall = ref false in
@@ -165,6 +167,9 @@ let ( selected,
         parse rest
     | "--journal" :: path :: rest ->
         journal := Some path;
+        parse rest
+    | "--store" :: dir :: rest ->
+        store := Some dir;
         parse rest
     | "--loop-budget-ms" :: n :: rest ->
         (match int_of_string_opt n with
@@ -216,8 +221,8 @@ let ( selected,
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !strict, !journal, !budget,
-    !cases, !seed, !trace, !metrics, !backend, !diff, !ledger, !lwall )
+  ( !selected, !sample, !timing, !csv, !jobs, !json, !verify, !strict, !journal, !store,
+    !budget, !cases, !seed, !trace, !metrics, !backend, !diff, !ledger, !lwall )
 
 let () = Option.iter Wr_util.Pool.set_default_jobs jobs_flag
 
@@ -242,6 +247,30 @@ let () =
       if replayed > 0 then
         Printf.printf "[journal] resumed %d completed points from %s\n%!" replayed path)
     journal_path
+
+(* --store falls back to WR_STORE, mirroring the CLI. *)
+let store_dir =
+  match store_dir with
+  | Some _ as s -> s
+  | None -> ( match Sys.getenv_opt "WR_STORE" with Some "" | None -> None | s -> s)
+
+let () =
+  Option.iter
+    (fun dir ->
+      match Core.Evaluate.attach_store dir with
+      | r ->
+          Printf.printf "[store] %s: %d entries in %d segment(s)%s%s\n%!" dir
+            r.Core.Store.entries r.Core.Store.segments
+            (if r.Core.Store.quarantined_segments > 0 then
+               Printf.sprintf ", %d quarantined" r.Core.Store.quarantined_segments
+             else "")
+            (if r.Core.Store.truncated_bytes > 0 then
+               Printf.sprintf ", %d torn byte(s) truncated" r.Core.Store.truncated_bytes
+             else "")
+      | exception Core.Store.Locked msg ->
+          prerr_endline msg;
+          exit 2)
+    store_dir
 
 (* Telemetry turns on before any experiment runs: either output flag
    requests it, and the profile mode needs it regardless. *)
@@ -1093,6 +1122,14 @@ let () =
       Printf.printf "[ledger] wrote %s (%d points)\n%!" path
         (List.length (Core.Provenance.records ())))
     ledger_path;
+  Option.iter
+    (fun dir ->
+      let s = Core.Evaluate.cache_stats `Store in
+      Printf.printf "[store] %s: %d entries, %d hits, %d misses, %d appended\n%!" dir
+        (Core.Evaluate.store_entries ()) s.Core.Evaluate.hits s.Core.Evaluate.misses
+        (Core.Evaluate.store_appended ());
+      Core.Evaluate.detach_store ())
+    store_dir;
   Core.Evaluate.detach_journal ();
   (match List.rev !deferred_failures with
   | [] -> ()

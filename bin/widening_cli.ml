@@ -13,6 +13,13 @@ module Cycle_model = Wr_machine.Cycle_model
 module Resource = Wr_machine.Resource
 module Loop = Wr_ir.Loop
 
+(* --store falls back to WR_STORE so a warm cache can follow a user
+   across invocations without repeating the flag. *)
+let store_or_env store =
+  match store with
+  | Some _ as s -> s
+  | None -> ( match Sys.getenv_opt "WR_STORE" with Some "" | None -> None | s -> s)
+
 let suite_of_sample sample =
   match sample with
   | None -> (Wr_workload.Suite.perfect_club_like (), "full")
@@ -27,7 +34,8 @@ let experiment_ids =
     "ablation-rotating"; "ablation-ordering"; "icache"; "traffic"; "dcache"; "balance"; "all";
   ]
 
-let run_experiment id sample jobs trace metrics strict journal budget backend ledger =
+let run_experiment id sample jobs trace metrics strict journal store budget backend ledger =
+  let store = store_or_env store in
   Option.iter Wr_sched.Backend.set backend;
   Option.iter Wr_util.Pool.set_default_jobs jobs;
   if trace <> None || metrics <> None then Wr_obs.Obs.set_enabled true;
@@ -40,6 +48,22 @@ let run_experiment id sample jobs trace metrics strict journal budget backend le
       if replayed > 0 then
         Printf.eprintf "[journal] resumed %d completed points from %s\n%!" replayed path)
     journal;
+  Option.iter
+    (fun dir ->
+      match Core.Evaluate.attach_store dir with
+      | r ->
+          Printf.eprintf "[store] %s: %d entries in %d segment(s)%s%s\n%!" dir
+            r.Core.Store.entries r.Core.Store.segments
+            (if r.Core.Store.quarantined_segments > 0 then
+               Printf.sprintf ", %d quarantined" r.Core.Store.quarantined_segments
+             else "")
+            (if r.Core.Store.truncated_bytes > 0 then
+               Printf.sprintf ", %d torn byte(s) truncated" r.Core.Store.truncated_bytes
+             else "")
+      | exception Core.Store.Locked msg ->
+          prerr_endline msg;
+          exit 2)
+    store;
   let loops, suite_id = suite_of_sample sample in
   let print = print_string in
   let dispatch = function
@@ -94,6 +118,14 @@ let run_experiment id sample jobs trace metrics strict journal budget backend le
       Printf.eprintf "[ledger] wrote %s (%d points)\n" path
         (List.length (Core.Provenance.records ())))
     ledger;
+  Option.iter
+    (fun dir ->
+      let s = Core.Evaluate.cache_stats `Store in
+      Printf.eprintf "[store] %s: %d entries, %d hits, %d misses, %d appended\n%!" dir
+        (Core.Evaluate.store_entries ()) s.Core.Evaluate.hits s.Core.Evaluate.misses
+        (Core.Evaluate.store_appended ());
+      Core.Evaluate.detach_store ())
+    store;
   Core.Evaluate.detach_journal ();
   (* Completed-with-quarantine is exit 3 (see README "Exit codes"):
      distinct from success and from hard failure, so CI can tell a
@@ -205,6 +237,16 @@ let ledger_arg =
   in
   Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
 
+let store_arg =
+  let doc =
+    "Consult and append to a persistent content-addressed result store at DIR: evaluation \
+     points already present (keyed by provenance hash) are answered from the store without \
+     re-evaluation, and every fresh clean evaluation is appended.  The store is crash-safe \
+     (checksummed append-only segments; torn tails and corrupt segments are recovered on \
+     open) and single-writer (a stale lock from a killed process is broken automatically)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
 let experiment_cmd =
   let id =
     let doc = "Experiment id: " ^ String.concat ", " experiment_ids ^ "." in
@@ -214,7 +256,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
     Term.(const run_experiment $ id $ sample_arg $ jobs_arg $ trace_arg $ metrics_arg
-          $ strict_arg $ journal_arg $ budget_arg $ backend_arg $ ledger_arg)
+          $ strict_arg $ journal_arg $ store_arg $ budget_arg $ backend_arg $ ledger_arg)
 
 (* --- schedule --------------------------------------------------------- *)
 
@@ -563,6 +605,234 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Dump a kernel's (or .wr file's) dependence graph as Graphviz DOT")
     Term.(const run $ kernel)
 
+(* --- serve / query / store ---------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Listen on (serve) or connect to (query) a Unix-domain socket at PATH." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen on (serve) or connect to (query) TCP port N." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"N" ~doc)
+
+let host_arg =
+  let doc = "Host for --port (bind address for serve, server address for query)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let endpoint_of socket port host =
+  match (socket, port) with
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp (host, p)
+  | Some _, Some _ ->
+      prerr_endline "--socket and --port are mutually exclusive";
+      exit 1
+  | None, None ->
+      prerr_endline "one of --socket PATH or --port N is required";
+      exit 1
+
+let run_serve socket port host store queue_max budget_ms jobs ledger metrics trace strict
+    loop_budget backend =
+  let store = store_or_env store in
+  Option.iter Wr_sched.Backend.set backend;
+  Option.iter Wr_util.Pool.set_default_jobs jobs;
+  if strict then Core.Evaluate.set_strict true;
+  Core.Evaluate.set_loop_budget_ms loop_budget;
+  let listen = endpoint_of socket port host in
+  let cfg =
+    {
+      Wr_serve.Server.listen;
+      queue_max;
+      request_budget_ms = budget_ms;
+      store;
+      ledger;
+      metrics;
+      trace;
+    }
+  in
+  match Wr_serve.Server.run cfg with
+  | () -> ()
+  | exception Core.Store.Locked msg ->
+      prerr_endline msg;
+      exit 2
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "serve: %s: %s %s\n" (Unix.error_message e) fn arg;
+      exit 2
+
+let serve_cmd =
+  let queue_max =
+    let doc =
+      "Admission bound: at most N requests outstanding (queued or evaluating); requests \
+       beyond that are shed immediately with an explicit busy reply, so memory stays \
+       bounded under any offered load."
+    in
+    Arg.(value & opt int Wr_serve.Server.default_queue_max
+         & info [ "queue-max" ] ~docv:"N" ~doc)
+  in
+  let budget_ms =
+    let doc =
+      "Default per-request deadline in milliseconds (a request's own deadline_ms field \
+       overrides it); an overrun degrades the point through the quarantine path and the \
+       reply says so."
+    in
+    Arg.(value & opt (some int) None & info [ "request-budget-ms" ] ~docv:"MS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the design-space query daemon: concurrent study/point queries over a \
+             Unix or TCP socket, with duplicate-request coalescing, bounded admission \
+             with explicit load shedding, per-request deadlines, and an optional \
+             crash-safe persistent result store for zero-re-evaluation warm starts. \
+             SIGTERM/SIGINT drain gracefully.")
+    Term.(const run_serve $ socket_arg $ port_arg $ host_arg $ store_arg $ queue_max
+          $ budget_ms $ jobs_arg $ ledger_arg $ metrics_arg $ trace_arg $ strict_arg
+          $ budget_arg $ backend_arg)
+
+let query_ops = [ ("point", `Point); ("suite", `Suite); ("health", `Health); ("shutdown", `Shutdown) ]
+
+let run_query op socket port host suite index config_str cycles registers deadline_ms id
+    timeout_ms retries base_ms max_ms =
+  let module P = Wr_serve.Protocol in
+  let module J = Core.Bench_schema in
+  let target = (endpoint_of socket port host :> Wr_serve.Client.target) in
+  let line =
+    match op with
+    | `Health -> P.req_health ?id ()
+    | `Shutdown -> P.req_shutdown ?id ()
+    | `Point ->
+        P.req_eval ?id ?registers ?cycles ?deadline_ms ~suite ~index ~config:config_str ()
+    | `Suite -> P.req_suite ?id ?registers ?cycles ?deadline_ms ~suite ~config:config_str ()
+  in
+  (* Seed the backoff jitter from the pid so a herd of concurrent
+     clients retrying against a busy server desynchronizes. *)
+  let seed = Int64.of_int (Unix.getpid ()) in
+  match
+    Wr_serve.Client.query target ~timeout_ms ~attempts:retries ~base_ms ~max_ms ~seed line
+  with
+  | Error (Wr_serve.Client.Busy msg) ->
+      Printf.eprintf "query: still busy after %d attempt(s): %s\n" retries msg;
+      (* 4 = busy-after-retries (see README "Exit codes"): retryable by
+         the caller, distinct from a hard failure. *)
+      exit 4
+  | Error e ->
+      Printf.eprintf "query: %s\n" (Wr_serve.Client.error_message e);
+      exit 2
+  | Ok reply -> (
+      (match J.member "result" reply with
+      | Some r -> print_endline (J.to_string r)
+      | None -> print_endline (J.to_string reply));
+      match op with
+      | `Point | `Suite ->
+          let field k =
+            match J.member k reply with
+            | Some (J.Str v) -> v
+            | Some (J.Bool b) -> string_of_bool b
+            | _ -> "-"
+          in
+          Printf.eprintf "[query] source=%s degraded=%s coalesced=%s\n" (field "source")
+            (field "degraded") (field "coalesced")
+      | `Health | `Shutdown -> ())
+
+let query_cmd =
+  let op =
+    let doc =
+      "Operation: $(b,point) (evaluate one suite point), $(b,suite) (aggregate over the \
+       whole suite), $(b,health) (server metrics, cache hit rates, queue depth), or \
+       $(b,shutdown) (graceful drain)."
+    in
+    Arg.(required & pos 0 (some (enum query_ops)) None & info [] ~docv:"OP" ~doc)
+  in
+  let suite =
+    Arg.(value & opt string "full"
+         & info [ "suite" ] ~docv:"SUITE"
+             ~doc:"Suite id: $(b,full) or $(b,sampleN) (e.g. sample50).")
+  in
+  let index =
+    Arg.(value & opt int 0 & info [ "i"; "index" ] ~docv:"N" ~doc:"Loop index for point.")
+  in
+  let config =
+    Arg.(value & opt string "4w2(64)"
+         & info [ "c"; "config" ] ~docv:"CONFIG" ~doc:"Configuration, e.g. 4w2(64).")
+  in
+  let cycles =
+    Arg.(value & opt (some int) None
+         & info [ "cycles" ] ~docv:"N"
+             ~doc:"Cycle model (1-4); defaults to the one the configuration implies.")
+  in
+  let registers =
+    Arg.(value & opt (some int) None
+         & info [ "registers" ] ~docv:"N"
+             ~doc:"Register file size; defaults to the configuration's.")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline; an overrun degrades the point server-side.")
+  in
+  let id =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed back in the reply.")
+  in
+  let timeout =
+    Arg.(value & opt int 30000
+         & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Socket connect/read timeout per attempt.")
+  in
+  let retries =
+    Arg.(value & opt int 5
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Total attempts on busy replies or connection failures (jittered \
+                   exponential backoff between them); 1 disables retrying.")
+  in
+  let base =
+    Arg.(value & opt int 100
+         & info [ "backoff-base-ms" ] ~docv:"MS" ~doc:"First retry delay before jitter.")
+  in
+  let cap =
+    Arg.(value & opt int 2000
+         & info [ "backoff-max-ms" ] ~docv:"MS" ~doc:"Retry delay ceiling before jitter.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query a running widening-serve daemon.  Prints the result JSON to stdout and \
+             reply metadata (cache source, degradation, coalescing) to stderr.  Exit 0 on \
+             success, 2 on a definitive server or connection error, 4 when the server was \
+             still shedding load after every retry.")
+    Term.(const run_query $ op $ socket_arg $ port_arg $ host_arg $ suite $ index $ config
+          $ cycles $ registers $ deadline $ id $ timeout $ retries $ base $ cap)
+
+let store_cmd =
+  let action =
+    let doc = "$(b,stat) (report segments/entries/recovery) or $(b,compact) (rewrite as \
+               one sorted, deduplicated segment — the canonical byte-comparable form)." in
+    Arg.(required & pos 0 (some (enum [ ("stat", `Stat); ("compact", `Compact) ])) None
+         & info [] ~docv:"ACTION" ~doc)
+  in
+  let dir =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let run action dir =
+    match Core.Store.open_dir dir with
+    | exception Core.Store.Locked msg ->
+        prerr_endline msg;
+        exit 2
+    | t, r ->
+        Printf.printf "%s: %d entries in %d segment(s)\n" dir r.Core.Store.entries
+          r.Core.Store.segments;
+        if r.Core.Store.quarantined_segments > 0 then
+          Printf.printf "  recovery: %d corrupt segment(s) quarantined\n"
+            r.Core.Store.quarantined_segments;
+        if r.Core.Store.truncated_bytes > 0 then
+          Printf.printf "  recovery: %d torn byte(s) truncated\n" r.Core.Store.truncated_bytes;
+        (match action with
+        | `Stat -> ()
+        | `Compact ->
+            Core.Store.compact t;
+            Printf.printf "compacted to 1 segment (%d entries)\n" (Core.Store.length t));
+        Core.Store.close t
+  in
+  Cmd.v
+    (Cmd.info "store" ~doc:"Inspect or compact a persistent result store directory")
+    Term.(const run $ action $ dir)
+
 let () =
   let info =
     Cmd.info "widening-cli" ~version:"1.0.0"
@@ -573,7 +843,7 @@ let () =
       (Cmd.group info
          [
            experiment_cmd; schedule_cmd; configs_cmd; workload_cmd; dot_cmd; codegen_cmd;
-           simulate_cmd; file_cmd; check_cmd;
+           simulate_cmd; file_cmd; check_cmd; serve_cmd; query_cmd; store_cmd;
          ])
   in
   (* Standardized exit codes: cmdliner reports its own parse/usage

@@ -76,10 +76,12 @@ val evaluations : unit -> int
 
 type cache_stats = { hits : int; misses : int }
 
-val cache_stats : [ `Suite | `Loop ] -> cache_stats
+val cache_stats : [ `Suite | `Loop | `Store ] -> cache_stats
 (** Hit/miss counts per memo level ([`Suite]: whole-suite aggregates;
-    [`Loop]: per-loop results).  Always counted, thread-safe, and reset
-    by {!clear_cache} alongside the cached entries themselves. *)
+    [`Loop]: per-loop results; [`Store]: the attached persistent store,
+    consulted on loop-cache misses).  Always counted, thread-safe, and
+    reset by {!clear_cache} alongside the cached entries themselves
+    (the store's on-disk contents survive, only the counters reset). *)
 
 val set_verify : bool -> unit
 (** Toggle verification mode: when on, every {!loop_on} result is
@@ -165,6 +167,61 @@ val detach_journal : unit -> unit
 
 val flush_journal : unit -> unit
 (** Force buffered journal records to disk (also done on detach). *)
+
+(** {2 Persistent store}
+
+    The content-addressed result store (see {!Store}) is the cross-run
+    complement of the journal: keyed by {!Provenance.point_hash}, it is
+    consulted on every loop-cache miss and appended to on every clean
+    first-store-wins evaluation, so any process attached to the same
+    store directory — a restarted server, a fresh sweep — warm-starts
+    with zero re-evaluations for points it has seen.  Store hits become
+    ordinary cache entries: they are neither journaled nor emitted as
+    provenance records (they are not decisions of this run), and they
+    are not re-verified under {!set_verify} (the entry was verified, if
+    at all, by the run that evaluated it).  Quarantined points are
+    never stored; a later run retries them. *)
+
+val attach_store : string -> Store.recovery
+(** Open (creating if absent) a store directory, recover its segments,
+    and serve/append through it until {!detach_store}.  Detaches any
+    previously attached store first.  Raises {!Store.Locked} when
+    another live process holds the store. *)
+
+val detach_store : unit -> unit
+(** Flush, close, release the store's lockfile, and stop consulting
+    it.  No-op when none is attached. *)
+
+val store_dir : unit -> string option
+(** Directory of the attached store, if any. *)
+
+val store_entries : unit -> int
+(** Distinct entries in the attached store (0 when none). *)
+
+val store_appended : unit -> int
+(** Entries this process appended to the attached store. *)
+
+val probe :
+  suite_id:string ->
+  index:int ->
+  Wr_machine.Config.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  registers:int ->
+  loop_result option
+(** Loop-cache lookup without evaluating and without touching the
+    hit/miss counters — the service uses it to label each reply's
+    source ([memo]/[store]/[fresh]) before running {!loop_cached}. *)
+
+val probe_store :
+  suite_id:string ->
+  index:int ->
+  Wr_machine.Config.t ->
+  cycle_model:Wr_machine.Cycle_model.t ->
+  registers:int ->
+  Wr_ir.Loop.t ->
+  bool
+(** Whether the attached store holds this point (counter-free, like
+    {!probe}); [false] when no store is attached. *)
 
 type aggregate = {
   total_cycles : float;  (** weighted cycles over all loops *)

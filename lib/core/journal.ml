@@ -23,11 +23,19 @@ type entry = {
 type t = {
   path : string;
   fd : Unix.file_descr;
+  lock : Wr_util.Lockfile.t;
   buf : Buffer.t;
   mutable pending : int;
   mutable closed : bool;
   mutex : Mutex.t;
 }
+
+exception Locked of string
+
+let () =
+  Printexc.register_printer (function
+    | Locked msg -> Some ("Wr_core journal: " ^ msg)
+    | _ -> None)
 
 let batch_records = 64
 
@@ -163,17 +171,46 @@ let read_prefix path =
   (List.rev !entries, !ok)
 
 let open_for_resume path =
-  let entries, valid_len =
-    if Sys.file_exists path then read_prefix path else ([], 0)
+  (* Single-writer discipline: take the lock before even scanning, so
+     two processes can never interleave appends (or race the torn-tail
+     truncation) on one journal.  Stale locks from killed runs are
+     broken by Lockfile itself — the crash/resume workflow stays one
+     command. *)
+  let lock =
+    match Wr_util.Lockfile.acquire (path ^ ".lock") with
+    | Ok l -> l
+    | Error msg ->
+        raise
+          (Locked
+             (Printf.sprintf
+                "cannot attach journal %s: %s (a second writer would interleave appends)" path
+                msg))
   in
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-  (* Drop the torn tail so appended records start on a clean boundary. *)
-  Unix.ftruncate fd valid_len;
-  ignore (Unix.lseek fd valid_len Unix.SEEK_SET);
-  let t =
-    { path; fd; buf = Buffer.create 4096; pending = 0; closed = false; mutex = Mutex.create () }
-  in
-  (t, entries)
+  match
+    let entries, valid_len =
+      if Sys.file_exists path then read_prefix path else ([], 0)
+    in
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+    (* Drop the torn tail so appended records start on a clean boundary. *)
+    Unix.ftruncate fd valid_len;
+    ignore (Unix.lseek fd valid_len Unix.SEEK_SET);
+    let t =
+      {
+        path;
+        fd;
+        lock;
+        buf = Buffer.create 4096;
+        pending = 0;
+        closed = false;
+        mutex = Mutex.create ();
+      }
+    in
+    (t, entries)
+  with
+  | result -> result
+  | exception e ->
+      Wr_util.Lockfile.release lock;
+      raise e
 
 let write_all fd s =
   let n = String.length s in
@@ -208,7 +245,8 @@ let close t =
       if not t.closed then begin
         flush_locked t;
         t.closed <- true;
-        Unix.close t.fd
+        Unix.close t.fd;
+        Wr_util.Lockfile.release t.lock
       end)
 
 let path t = t.path

@@ -49,6 +49,19 @@ type entry = {
 
 type t
 
+exception Locked of string
+(** Raised by {!open_for_resume} when another live process holds the
+    journal's lockfile ([<path>.lock]); the message names the journal
+    and the owning pid.  Two writers interleaving appends would corrupt
+    the record stream silently, so a second attach fails loudly
+    instead.  Locks left by killed processes are detected (the owner
+    pid no longer exists) and broken automatically, keeping
+    crash-then-resume a single command. *)
+
+val fnv1a64 : string -> int64
+(** The line checksum (FNV-1a 64, matching [Wr_util.Fault]'s string
+    hash), shared with {!Store}'s segment format. *)
+
 val batch_records : int
 (** Records buffered between fsyncs (bounds what a crash can lose). *)
 

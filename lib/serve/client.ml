@@ -1,0 +1,97 @@
+module J = Core.Bench_schema
+
+type target = [ `Unix of string | `Tcp of string * int ]
+
+type error =
+  | Busy of string
+  | Remote of string
+  | Io of string
+  | Bad_reply of string
+
+let error_message = function
+  | Busy m -> "server busy: " ^ m
+  | Remote m -> "server error: " ^ m
+  | Io m -> "connection error: " ^ m
+  | Bad_reply m -> "bad reply: " ^ m
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* Read up to the first newline.  The protocol is one reply per
+   request, so a small buffer loop suffices; SO_RCVTIMEO turns a hung
+   server into a timeout error instead of a wedge. *)
+let read_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then Error (Io "connection closed before reply")
+    else begin
+      match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+      | Some i ->
+          Buffer.add_subbytes buf chunk 0 i;
+          Ok (Buffer.contents buf)
+      | None ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+    end
+  in
+  go ()
+
+let round_trip target ~timeout_ms line =
+  let domain, addr =
+    match target with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  match Unix.socket domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let tmo = float_of_int timeout_ms /. 1000.0 in
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO tmo;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO tmo
+           with Unix.Unix_error _ -> ());
+          match
+            Unix.connect fd addr;
+            write_all fd (line ^ "\n")
+          with
+          | () -> (
+              try read_line fd
+              with Unix.Unix_error (e, _, _) ->
+                Error
+                  (Io
+                     (match e with
+                     | Unix.EAGAIN | Unix.EWOULDBLOCK -> "read timed out"
+                     | e -> Unix.error_message e)))
+          | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e)))
+
+let classify line =
+  match J.parse line with
+  | Error msg -> Error (Bad_reply msg)
+  | Ok reply -> (
+      match J.member "ok" reply with
+      | Some (J.Bool true) -> Ok reply
+      | Some (J.Bool false) -> (
+          let msg =
+            match J.member "error" reply with Some (J.Str m) -> m | _ -> "unspecified"
+          in
+          match J.member "busy" reply with
+          | Some (J.Bool true) -> Error (Busy msg)
+          | _ -> Error (Remote msg))
+      | _ -> Error (Bad_reply "reply has no boolean \"ok\" field"))
+
+let query target ~timeout_ms ~attempts ?(base_ms = 100) ?(max_ms = 2000) ?(seed = 1L) line =
+  Wr_util.Backoff.retry ~attempts ~base_ms ~max_ms ~jitter:0.25 ~seed
+    ~retryable:(function Busy _ | Io _ -> true | Remote _ | Bad_reply _ -> false)
+    (fun ~attempt:_ ->
+      match round_trip target ~timeout_ms line with
+      | Ok reply_line -> classify reply_line
+      | Error _ as e -> e)

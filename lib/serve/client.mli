@@ -1,0 +1,39 @@
+(** Client side of the query service: one request per connection, with
+    timeout and bounded jittered-backoff retry (see
+    {!Wr_util.Backoff}).
+
+    Retry policy: a [busy] reply (shed or draining server) and
+    connection-level failures (refused while the server restarts, read
+    timeout) are retryable; a definitive error reply is not.  The
+    caller distinguishes the terminal outcomes for exit-code purposes:
+    {!error} [Busy] means the server was still overloaded after every
+    attempt — the CLI maps it to exit code 4. *)
+
+type target = [ `Unix of string | `Tcp of string * int ]
+
+type error =
+  | Busy of string  (** shed/draining after all retries *)
+  | Remote of string  (** definitive error reply from the server *)
+  | Io of string  (** connect/read/write failure after all retries *)
+  | Bad_reply of string  (** reply was not a valid protocol line *)
+
+val error_message : error -> string
+
+val round_trip : target -> timeout_ms:int -> string -> (string, error) result
+(** Connect, send one request line, read one reply line, close.  No
+    retries; [timeout_ms] bounds both connect-to-write and the read. *)
+
+val query :
+  target ->
+  timeout_ms:int ->
+  attempts:int ->
+  ?base_ms:int ->
+  ?max_ms:int ->
+  ?seed:int64 ->
+  string ->
+  (Core.Bench_schema.json, error) result
+(** {!round_trip} with parsing and retry: up to [attempts] tries,
+    backing off with jitter between them on [Busy]/[Io].  Returns the
+    parsed reply object when it has ["ok"]: [true]; a reply with
+    ["busy"]: [true] after the final attempt returns [Busy], any other
+    ["ok"]: [false] returns [Remote] immediately. *)

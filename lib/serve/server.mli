@@ -1,0 +1,67 @@
+(** The [widening-serve] daemon: concurrent design-space queries over a
+    Unix or TCP socket, answered from the evaluation engine's caches
+    and an optional persistent {!Core.Store}.
+
+    {2 Architecture}
+
+    One reader thread per connection parses line-delimited requests
+    (see {!Protocol}) and admits them under a single lock; one
+    dispatcher thread pops admitted work in batches and fans each batch
+    onto the shared {!Wr_util.Pool}, so evaluation parallelism is the
+    pool's, not the connection count's.  Replies are written by the
+    evaluating task itself, under a per-connection write mutex.
+
+    {2 Robustness invariants}
+
+    {ul
+    {- {b Bounded admission}: at most [queue_max] requests are
+       outstanding (queued or evaluating).  A request beyond that is
+       shed immediately with the explicit busy reply — memory stays
+       bounded no matter the offered load.}
+    {- {b Coalescing}: an [eval] request whose {!Core.Provenance}
+       point hash matches one already in flight attaches to it as a
+       waiter (without consuming an admission slot) and receives the
+       same result bytes; duplicate traffic costs one evaluation.}
+    {- {b Deadlines}: a request's [deadline_ms] (or the server-wide
+       [request_budget_ms]) becomes a {!Wr_util.Deadline} budget
+       installed inside the pool task; an overrun degrades that point
+       through {!Core.Evaluate}'s quarantine path — the reply says
+       [degraded], the server keeps running.}
+    {- {b Quarantine, not crash}: any exception inside an evaluation
+       is absorbed exactly as [Evaluate.loop_cached] absorbs it
+       (strict mode excepted); an exception anywhere else in request
+       handling produces an error reply on that request only.}
+    {- {b Graceful drain}: SIGTERM, SIGINT, or a [shutdown] request
+       stop admission (late requests get the busy reply), let in-flight
+       work finish, flush and close the store and ledger, and return.}}
+
+    {2 Warm starts}
+
+    With [store] set, every clean evaluation is appended to the
+    persistent store and every miss consults it, so a server killed
+    with [SIGKILL] and restarted on the same directory (the stale lock
+    is broken automatically) answers repeated queries byte-identically
+    with zero re-evaluations; the store's recovery pass truncates any
+    torn tail and quarantines corrupt segments first. *)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  queue_max : int;  (** outstanding-request bound; excess is shed *)
+  request_budget_ms : int option;  (** default per-request deadline *)
+  store : string option;  (** persistent store directory *)
+  ledger : string option;  (** write a [wr-ledger/1] file on drain *)
+  metrics : string option;  (** write an Obs metrics file on drain *)
+  trace : string option;  (** write an Obs trace file on drain *)
+}
+
+val default_queue_max : int
+(** 64: deep enough to keep the pool fed, shallow enough that a shed
+    reply arrives while retrying is still cheaper than waiting. *)
+
+val run : config -> unit
+(** Bind, serve until drained (signal or [shutdown] request), then
+    clean up and return.  Prints one [[serve]] line to stderr on start
+    and one on drain.  Raises on bind/store-open failures — before any
+    request was accepted, failing loudly is the right report. *)

@@ -1,0 +1,26 @@
+let delay_ms ~base_ms ~max_ms ~jitter ~rng ~attempt =
+  if base_ms < 1 then invalid_arg "Backoff.delay_ms: base_ms must be >= 1";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Backoff.delay_ms: jitter must be in [0, 1)";
+  (* Cap the exponent well before the multiply can overflow. *)
+  let exp = min attempt 20 in
+  let raw = min max_ms (base_ms * (1 lsl exp)) in
+  let factor = 1.0 -. jitter +. Rng.float rng (2.0 *. jitter) in
+  max 1 (int_of_float (float_of_int raw *. factor))
+
+let default_sleep ms = Unix.sleepf (float_of_int ms /. 1000.0)
+
+let retry ?(sleep = default_sleep) ~attempts ~base_ms ~max_ms ~jitter ~seed ~retryable f =
+  if attempts < 1 then invalid_arg "Backoff.retry: attempts must be >= 1";
+  let rng = Rng.create ~seed in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+        if attempt + 1 >= attempts || not (retryable e) then err
+        else begin
+          sleep (delay_ms ~base_ms ~max_ms ~jitter ~rng ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** Bounded retry with jittered exponential backoff.
+
+    The service client retries two kinds of transient failure: a busy
+    reply from a loaded server (the admission queue shed the request)
+    and connection-level errors during server startup or restart.
+    Retrying immediately would synchronize the very burst that caused
+    the shedding, so each attempt waits [base_ms * 2^attempt] capped at
+    [max_ms], multiplied by a uniform jitter factor in
+    [[1 - jitter, 1 + jitter]].
+
+    The jitter stream is a {!Rng} seeded by the caller, so a test (or a
+    reproducibility-minded client) gets the same delay sequence every
+    run; wall-clock sleeping is injected via [~sleep] and defaults to
+    [Unix.sleepf]. *)
+
+val delay_ms : base_ms:int -> max_ms:int -> jitter:float -> rng:Rng.t -> attempt:int -> int
+(** Delay before retry number [attempt] (0-based), in milliseconds:
+    [min max_ms (base_ms * 2^attempt)] scaled by the jitter factor
+    drawn from [rng].  [jitter] must be in [[0, 1)]; the result is at
+    least 1 ms. *)
+
+val retry :
+  ?sleep:(int -> unit) ->
+  attempts:int ->
+  base_ms:int ->
+  max_ms:int ->
+  jitter:float ->
+  seed:int64 ->
+  retryable:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** Run the thunk up to [attempts] times (so at most [attempts - 1]
+    sleeps), backing off between attempts.  A non-retryable error — or
+    the error of the final attempt — is returned as is.  [sleep]
+    receives each delay in milliseconds (default: [Unix.sleepf]). *)

@@ -146,13 +146,24 @@ let submit t task =
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
+  Queue.add task t.pending;
+  (* Sample the gauge under the same mutex that guards the queue (and
+     after the add, so the submitted task is counted): deriving depth
+     from submitted-minus-run counters instead would go transiently
+     negative under work-helping, where a task can finish before the
+     submitting thread's counter update is visible. *)
   if Obs.enabled () then begin
     Obs.runtime_add "pool/tasks_submitted" 1;
     Obs.runtime_observe "pool/queue_depth" (Queue.length t.pending)
   end;
-  Queue.add task t.pending;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.pending in
+  Mutex.unlock t.mutex;
+  n
 
 (* --- default pool ----------------------------------------------------- *)
 

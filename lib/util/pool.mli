@@ -77,6 +77,14 @@ val submit : t -> (unit -> unit) -> unit
     if the pool is shutting down or already shut down — a submit can
     never be silently dropped. *)
 
+val queue_depth : t -> int
+(** Number of tasks currently queued and not yet picked up, sampled
+    under the queue's own mutex — the same guard the busy/idle lanes
+    use — so the reading is a consistent snapshot and never negative
+    (a derived submitted-minus-run gauge can be, transiently, under
+    work-helping).  This is the depth the service's [health] reply and
+    [bench profile] report. *)
+
 val default : unit -> t
 (** The process-wide shared pool, created on first use. *)
 
